@@ -1,0 +1,105 @@
+// Command hetarch regenerates every table and figure of the HetArch paper's
+// evaluation section from the reproduction library.
+//
+// Usage:
+//
+//	hetarch <experiment> [-quick] [-seed N]
+//
+// where experiment is one of: devices (Table 1), cells (Table 2), fig3,
+// fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hetarch/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hetarch:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hetarch", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced Monte Carlo effort (CI scale)")
+	seed := fs.Int64("seed", 1, "base RNG seed")
+	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
+	if len(args) == 0 {
+		usage(fs)
+		return fmt.Errorf("missing experiment name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	sc := experiments.Full()
+	if *quick {
+		sc = experiments.Quick()
+	}
+
+	emit := tablePrinter
+	if *asJSON {
+		emit = tableJSON
+	}
+	runners := map[string]func() error{
+		"devices":  func() error { experiments.Table1(os.Stdout); return nil },
+		"cells":    func() error { return experiments.Table2(os.Stdout) },
+		"fig3":     emit(func() *experiments.Table { return experiments.Fig3(sc, *seed) }),
+		"fig4":     emit(func() *experiments.Table { return experiments.Fig4(sc, *seed) }),
+		"fig6":     emit(func() *experiments.Table { return experiments.Fig6(sc, *seed) }),
+		"fig7":     emit(func() *experiments.Table { return experiments.Fig7(sc, *seed) }),
+		"fig9":     emit(func() *experiments.Table { return experiments.Fig9(sc, *seed) }),
+		"table3":   emit(func() *experiments.Table { return experiments.Table3(sc, *seed) }),
+		"fig12":    emit(func() *experiments.Table { return experiments.Fig12(sc, *seed) }),
+		"table4":   emit(func() *experiments.Table { return experiments.Table4(sc, *seed) }),
+		"dse":      func() error { experiments.FprintDSE(os.Stdout); return nil },
+		"devstudy": emit(func() *experiments.Table { return experiments.DeviceStudy(sc, *seed) }),
+		"capacity": emit(func() *experiments.Table { return experiments.CapacitySweep(sc, *seed) }),
+		"protocol": func() error { return experiments.ProtocolCheck(os.Stdout, *seed) },
+	}
+
+	if name == "all" {
+		order := []string{"devices", "cells", "fig3", "fig4", "fig6", "fig7", "fig9", "table3", "fig12", "table4", "dse", "devstudy", "capacity", "protocol"}
+		for _, n := range order {
+			start := time.Now()
+			if err := runners[n](); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+			fmt.Printf("-- %s done in %v --\n\n", n, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+	r, ok := runners[name]
+	if !ok {
+		usage(fs)
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+	return r()
+}
+
+func tablePrinter(build func() *experiments.Table) func() error {
+	return func() error {
+		build().Fprint(os.Stdout)
+		return nil
+	}
+}
+
+func tableJSON(build func() *experiments.Table) func() error {
+	return func() error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(build())
+	}
+}
+
+func usage(fs *flag.FlagSet) {
+	fmt.Fprintln(os.Stderr, "usage: hetarch <devices|cells|fig3|fig4|fig6|fig7|fig9|table3|fig12|table4|dse|devstudy|capacity|protocol|all> [-quick] [-seed N]")
+	fs.PrintDefaults()
+}

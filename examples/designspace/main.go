@@ -1,0 +1,78 @@
+// Design-space exploration: sweep the Table-1 storage catalog for a
+// Register-based memory module, characterize each distinct cell exactly
+// once (the HetArch simulation-hierarchy payoff), and print the Pareto
+// frontier between stored-qubit error and chip footprint — the real
+// coherence-vs-size tradeoff of superconducting storage.
+//
+// Run with:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetarch"
+)
+
+func main() {
+	characterizer := hetarch.NewCharacterizer()
+
+	// The storage candidates from the paper's Table 1: coherence grows with
+	// physical size — that is the tradeoff the sweep explores.
+	storages := []func() *hetarch.Device{
+		hetarch.NewFutureOnChipResonator, // 1 ms, 25 mm², 10 modes
+		hetarch.NewMultimodeResonator3D,  // 2 ms, 10000 mm², 10 modes
+		hetarch.NewMemory3D,              // 25 ms, 25 mm² footprint, 1 mode
+	}
+
+	var results []hetarch.SweepResult
+	for si, mk := range storages {
+		for _, holdUs := range []float64{10, 100, 1000} {
+			storage := mk()
+			compute := hetarch.NewStandardComputeNoReadout(500)
+			reg := hetarch.NewRegister(storage, compute, 2)
+			// One density-matrix characterization per storage device; the
+			// hold-time dimension reuses the cached channel numbers.
+			char, err := characterizer.Characterize(storage.Name, reg, hetarch.CharacterizeRegister)
+			if err != nil {
+				log.Fatal(err)
+			}
+			perUs := char.MustOp("idle-1us").ErrorRate()
+			keep := 1.0
+			for i := 0; i < int(holdUs); i++ {
+				keep *= 1 - perUs
+			}
+			loadStore := char.MustOp("load").ErrorRate() + char.MustOp("store").ErrorRate()
+			results = append(results, hetarch.SweepResult{
+				Point: hetarch.SweepPoint{"storage": float64(si), "holdUs": holdUs},
+				Metrics: map[string]float64{
+					"storedError":   1 - keep + loadStore,
+					"footprintPerQ": reg.FootprintArea() / float64(reg.QubitCapacity()),
+				},
+			})
+		}
+	}
+
+	calls, hits := characterizer.Stats()
+	fmt.Printf("evaluated %d design points with %d cell simulations (%d cache hits)\n\n",
+		len(results), calls-hits, hits)
+
+	for _, holdUs := range []float64{10, 100, 1000} {
+		var slice []hetarch.SweepResult
+		for _, r := range results {
+			if r.Point["holdUs"] == holdUs {
+				slice = append(slice, r)
+			}
+		}
+		front := hetarch.ParetoFront(slice, []string{"storedError", "footprintPerQ"})
+		fmt.Printf("hold %.0f us — Pareto frontier (error vs footprint/qubit):\n", holdUs)
+		for _, r := range front {
+			fmt.Printf("  %-34s storedError=%8.3g footprint/qubit=%8.2f mm2\n",
+				storages[int(r.Point["storage"])]().Name,
+				r.Metrics["storedError"], r.Metrics["footprintPerQ"])
+		}
+		fmt.Println()
+	}
+}

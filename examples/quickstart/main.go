@@ -1,0 +1,64 @@
+// Quickstart: build a heterogeneous module from the public API, validate it
+// against the design rules, characterize its standard cells by exact
+// density-matrix simulation, and print the report.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetarch"
+)
+
+func main() {
+	// Pick devices from the Table-1 catalog plus the Section-4 idealized
+	// parameter sets: a long-lived 10-mode storage resonator and 0.5 ms
+	// transmon-style compute qubits.
+	storage := hetarch.NewStandardStorage(12500, 10) // 12.5 ms, 10 modes
+	compute := hetarch.NewStandardComputeNoReadout(500)
+	computeRO := hetarch.NewStandardCompute(500)
+
+	// Assemble standard cells.
+	register := hetarch.NewRegister(storage, compute, 2)
+	parcheck := hetarch.NewParCheck(hetarch.NewStandardComputeNoReadout(500), computeRO)
+
+	// Group them into a module hierarchy, as in Fig. 1 of the paper.
+	memory := hetarch.NewModule("Memory").AddCell(register)
+	distil := hetarch.NewModule("Distil").AddCell(parcheck)
+	module := hetarch.NewModule("EntanglementDistillation").
+		AddSubModule(memory).
+		AddSubModule(distil)
+
+	fmt.Println("module hierarchy:")
+	fmt.Print(module.Tree())
+
+	// Design-rule validation (DR1-DR4, Section 3.2).
+	if violations := module.ValidateDesignRules(); len(violations) > 0 {
+		log.Fatalf("design-rule violations: %v", violations)
+	}
+	fmt.Println("design rules: OK")
+
+	// Physical roll-ups inherited from the device layer.
+	fmt.Printf("footprint: %.0f mm^2, control lines: %d, qubit capacity: %d\n\n",
+		module.FootprintArea(), module.ControlOverhead(), module.QubitCapacity())
+
+	// Characterize each cell once; higher layers reuse the channel numbers.
+	regChar, err := hetarch.CharacterizeRegister(register)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pcChar, err := hetarch.CharacterizeParCheck(parcheck)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ch := range []*hetarch.Characterization{regChar, pcChar} {
+		fmt.Printf("%s characterization:\n", ch.Cell)
+		for _, op := range ch.Ops {
+			fmt.Printf("  %-10s %6.3f us  fidelity %.6f\n", op.Name, op.Duration, op.Fidelity)
+		}
+	}
+}

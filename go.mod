@@ -1,0 +1,3 @@
+module hetarch
+
+go 1.22

@@ -1,0 +1,179 @@
+// Package cell implements quantum standard cells — the middle layer of the
+// HetArch hierarchy. A cell is a small set of devices with fixed couplings,
+// optimized for a few operations (Table 2 of the paper: Register, ParCheck,
+// SeqOp, USC, USC-EXT), assembled under the design rules of Section 3.2 and
+// characterized by exact density-matrix simulation.
+package cell
+
+import (
+	"fmt"
+
+	"hetarch/internal/device"
+)
+
+// Element is one device instance inside a cell.
+type Element struct {
+	Name string
+	Dev  *device.Device
+	// SubCell records which logical sub-cell the element belongs to when a
+	// composite cell (SeqOp, USC) embeds Register cells; empty for simple
+	// cells.
+	SubCell string
+}
+
+// Cell is a standard cell: devices plus internal couplings plus reserved
+// external connections.
+type Cell struct {
+	Name     string
+	Elements []Element
+	// Couplings are undirected internal edges between element indices.
+	Couplings [][2]int
+	// External maps element index → number of reserved off-cell links.
+	External map[int]int
+	// ReadoutNeed declares how many readout-capable devices the cell's
+	// operations require (DR4 demands the actual count equal this).
+	ReadoutNeed int
+}
+
+// Degree returns the total degree (internal + external) of element i.
+func (c *Cell) Degree(i int) int {
+	d := c.External[i]
+	for _, cp := range c.Couplings {
+		if cp[0] == i || cp[1] == i {
+			d++
+		}
+	}
+	return d
+}
+
+// Element returns the element with the given name.
+func (c *Cell) Element(name string) (int, *Element, error) {
+	for i := range c.Elements {
+		if c.Elements[i].Name == name {
+			return i, &c.Elements[i], nil
+		}
+	}
+	return 0, nil, fmt.Errorf("cell %s: no element %q", c.Name, name)
+}
+
+// FootprintArea sums the 2D areas of all devices (mm²).
+func (c *Cell) FootprintArea() float64 {
+	var a float64
+	for _, e := range c.Elements {
+		a += e.Dev.Footprint.Area()
+	}
+	return a
+}
+
+// ControlOverhead sums the control lines of all devices.
+func (c *Cell) ControlOverhead() int {
+	n := 0
+	for _, e := range c.Elements {
+		n += e.Dev.ControlOverhead()
+	}
+	return n
+}
+
+// QubitCapacity sums device capacities (storage modes plus compute qubits).
+func (c *Cell) QubitCapacity() int {
+	n := 0
+	for _, e := range c.Elements {
+		n += e.Dev.Capacity
+	}
+	return n
+}
+
+// Violation reports one design-rule violation.
+type Violation struct {
+	Rule int // 1..4
+	Msg  string
+}
+
+func (v Violation) String() string { return fmt.Sprintf("DR%d: %s", v.Rule, v.Msg) }
+
+// CheckDesignRules validates the cell against the paper's design rules:
+//
+//	DR1: compute devices are connected to at most 4 other devices.
+//	DR2: storage devices are connected to exactly 1 compute device and have
+//	     no external links.
+//	DR3: device connectivity reflects intended use — no disconnected
+//	     elements, graph connected, and no device's degree exceeds its
+//	     declared physical connectivity.
+//	DR4: readout-capable compute devices are minimal: exactly the number the
+//	     cell's operations need.
+func CheckDesignRules(c *Cell) []Violation {
+	var out []Violation
+	for i, e := range c.Elements {
+		deg := c.Degree(i)
+		switch e.Dev.Kind {
+		case device.Compute:
+			if deg > 4 {
+				out = append(out, Violation{1, fmt.Sprintf("compute %s has degree %d > 4", e.Name, deg)})
+			}
+		case device.Storage:
+			internal := 0
+			var partner *Element
+			for _, cp := range c.Couplings {
+				if cp[0] == i {
+					internal++
+					partner = &c.Elements[cp[1]]
+				}
+				if cp[1] == i {
+					internal++
+					partner = &c.Elements[cp[0]]
+				}
+			}
+			if internal != 1 || c.External[i] != 0 {
+				out = append(out, Violation{2, fmt.Sprintf("storage %s must couple to exactly one compute device", e.Name)})
+			} else if partner.Dev.Kind != device.Compute {
+				out = append(out, Violation{2, fmt.Sprintf("storage %s couples to non-compute %s", e.Name, partner.Name)})
+			}
+		}
+		if deg > e.Dev.Connectivity {
+			out = append(out, Violation{3, fmt.Sprintf("%s degree %d exceeds device connectivity %d", e.Name, deg, e.Dev.Connectivity)})
+		}
+		if deg == 0 {
+			out = append(out, Violation{3, fmt.Sprintf("%s is disconnected", e.Name)})
+		}
+	}
+	if !connected(c) {
+		out = append(out, Violation{3, "cell graph is not connected"})
+	}
+	readouts := 0
+	for _, e := range c.Elements {
+		if e.Dev.HasReadout {
+			readouts++
+		}
+	}
+	if readouts != c.ReadoutNeed {
+		out = append(out, Violation{4, fmt.Sprintf("%d readout devices, operations need exactly %d", readouts, c.ReadoutNeed)})
+	}
+	return out
+}
+
+func connected(c *Cell) bool {
+	if len(c.Elements) == 0 {
+		return true
+	}
+	adj := make([][]int, len(c.Elements))
+	for _, cp := range c.Couplings {
+		adj[cp[0]] = append(adj[cp[0]], cp[1])
+		adj[cp[1]] = append(adj[cp[1]], cp[0])
+	}
+	seen := make([]bool, len(c.Elements))
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == len(c.Elements)
+}

@@ -1,0 +1,278 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"hetarch/internal/device"
+)
+
+func stdStorage() *device.Device { return device.StandardStorage(12500, 10) }
+func stdCompute() *device.Device { return device.StandardComputeNoReadout(500) }
+func stdComputeRO() *device.Device {
+	return device.StandardCompute(500)
+}
+
+func allStandardCells() []*Cell {
+	return []*Cell{
+		NewRegister(stdStorage(), stdCompute(), 3),
+		NewParCheck(stdCompute(), stdComputeRO()),
+		NewSeqOp(stdStorage, stdComputeRO, stdComputeRO()),
+		NewUSC(stdStorage, stdComputeRO, stdComputeRO()),
+		NewUSCExt(stdStorage, stdComputeRO, stdComputeRO()),
+	}
+}
+
+func TestStandardCellsSatisfyDesignRules(t *testing.T) {
+	for _, c := range allStandardCells() {
+		if v := CheckDesignRules(c); len(v) > 0 {
+			t.Errorf("%s violates design rules: %v", c.Name, v)
+		}
+	}
+}
+
+func TestRegisterStructure(t *testing.T) {
+	c := NewRegister(stdStorage(), stdCompute(), 2)
+	if len(c.Elements) != 2 || len(c.Couplings) != 1 {
+		t.Fatal("register shape wrong")
+	}
+	if c.QubitCapacity() != 11 {
+		t.Fatalf("register capacity %d, want 11 (10 modes + compute)", c.QubitCapacity())
+	}
+	if c.ReadoutNeed != 0 {
+		t.Fatal("register must not need readout")
+	}
+}
+
+func TestUSCStructure(t *testing.T) {
+	c := NewUSC(stdStorage, stdComputeRO, stdComputeRO())
+	if len(c.Elements) != 7 {
+		t.Fatal("USC should have 7 devices")
+	}
+	// capacity: 3 storages * 10 + 3 computes + ancilla = 34
+	if c.QubitCapacity() != 34 {
+		t.Fatalf("USC capacity %d", c.QubitCapacity())
+	}
+	i, _, err := c.Element("parity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Degree(i) != 4 { // 3 registers + 1 external
+		t.Fatalf("USC parity degree %d, want 4", c.Degree(i))
+	}
+}
+
+func TestDesignRuleViolationDetection(t *testing.T) {
+	// DR2: storage with two couplings.
+	bad := &Cell{
+		Name: "bad",
+		Elements: []Element{
+			{Name: "s", Dev: stdStorage()},
+			{Name: "c1", Dev: stdCompute()},
+			{Name: "c2", Dev: stdCompute()},
+		},
+		Couplings:   [][2]int{{0, 1}, {0, 2}, {1, 2}},
+		External:    map[int]int{},
+		ReadoutNeed: 0,
+	}
+	found := map[int]bool{}
+	for _, v := range CheckDesignRules(bad) {
+		found[v.Rule] = true
+	}
+	if !found[2] {
+		t.Fatal("DR2 violation not detected")
+	}
+	// DR3: storage connectivity 1 exceeded as well
+	if !found[3] {
+		t.Fatal("DR3 violation not detected")
+	}
+}
+
+func TestDesignRuleDR1(t *testing.T) {
+	// compute with degree 5 via externals
+	c := NewRegister(stdStorage(), stdCompute(), 3)
+	c.External[1] = 4 // 1 internal + 4 external = 5
+	found := false
+	for _, v := range CheckDesignRules(c) {
+		if v.Rule == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DR1 violation not detected")
+	}
+}
+
+func TestDesignRuleDR4(t *testing.T) {
+	c := NewParCheck(stdCompute(), stdComputeRO())
+	c.ReadoutNeed = 0 // now the one readout device is surplus
+	found := false
+	for _, v := range CheckDesignRules(c) {
+		if v.Rule == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("DR4 violation not detected")
+	}
+}
+
+func TestDisconnectedCellDetected(t *testing.T) {
+	c := &Cell{
+		Name: "disc",
+		Elements: []Element{
+			{Name: "a", Dev: stdCompute()},
+			{Name: "b", Dev: stdCompute()},
+		},
+		External:    map[int]int{0: 1, 1: 1},
+		ReadoutNeed: 0,
+	}
+	violations := CheckDesignRules(c)
+	if len(violations) == 0 {
+		t.Fatal("disconnected cell passed design rules")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRegister(stdCompute(), stdCompute(), 0) },       // not storage
+		func() { NewRegister(stdStorage(), stdStorage(), 0) },       // not compute
+		func() { NewRegister(stdStorage(), stdCompute(), 5) },       // too many links
+		func() { NewParCheck(stdComputeRO(), stdComputeRO()) },      // data side has readout
+		func() { NewParCheck(stdCompute(), stdCompute()) },          // no readout at all
+		func() { NewSeqOp(stdStorage, stdComputeRO, stdCompute()) }, // parity lacks readout
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFootprintAndControlRollups(t *testing.T) {
+	c := NewRegister(stdStorage(), stdCompute(), 0)
+	if c.FootprintArea() != 25+4 {
+		t.Fatalf("footprint %g", c.FootprintArea())
+	}
+	if c.ControlOverhead() != 2 { // storage drive + compute charge
+		t.Fatalf("control overhead %d", c.ControlOverhead())
+	}
+}
+
+func TestCharacterizeRegister(t *testing.T) {
+	c := NewRegister(stdStorage(), stdCompute(), 1)
+	ch, err := CharacterizeRegister(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := ch.MustOp("load")
+	if load.Duration != 0.1 {
+		t.Fatalf("load duration %g", load.Duration)
+	}
+	// Coherence-limited: fidelity slightly below 1 but above 0.999.
+	if load.Fidelity >= 1 || load.Fidelity < 0.999 {
+		t.Fatalf("load fidelity %v out of expected band", load.Fidelity)
+	}
+	store := ch.MustOp("store")
+	if store.Fidelity >= 1 || store.Fidelity < 0.999 {
+		t.Fatalf("store fidelity %v out of expected band", store.Fidelity)
+	}
+	// During the load SWAP the state ends in long-lived storage; during the
+	// store SWAP it ends on the short-lived compute device, so store cannot
+	// beat load.
+	if store.Fidelity > load.Fidelity+1e-12 {
+		t.Fatal("store fidelity should not exceed load fidelity")
+	}
+	idle := ch.MustOp("idle-1us")
+	// Idle in 12.5 ms storage for 1 µs: error ~ 1e-4 scale.
+	if idle.Fidelity >= 1 || idle.Fidelity < 0.9999 {
+		t.Fatalf("idle fidelity %v unexpected", idle.Fidelity)
+	}
+}
+
+func TestCharacterizeRegisterGateErrorDominates(t *testing.T) {
+	// With an explicit SWAP gate error, fidelity should drop accordingly.
+	st := stdStorage()
+	st.Gates[0].Error = 0.01
+	c := NewRegister(st, stdCompute(), 1)
+	ch, err := CharacterizeRegister(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := ch.MustOp("load")
+	if load.Fidelity > 0.995 || load.Fidelity < 0.98 {
+		t.Fatalf("load fidelity %v; expected ~1%% error", load.Fidelity)
+	}
+}
+
+func TestCharacterizeParCheck(t *testing.T) {
+	c := NewParCheck(stdCompute(), stdComputeRO())
+	ch, err := CharacterizeParCheck(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ch.MustOp("2q-gate")
+	if g.Duration != 0.1 || g.Fidelity >= 1 || g.Fidelity < 0.999 {
+		t.Fatalf("2q-gate report wrong: %+v", g)
+	}
+	ro := ch.MustOp("readout")
+	if ro.Duration != 1 {
+		t.Fatal("readout duration wrong")
+	}
+	// 1 µs idle at Tc = 0.5 ms costs about 0.1-0.3% fidelity.
+	if ro.Fidelity > 0.9999 || ro.Fidelity < 0.99 {
+		t.Fatalf("readout idle fidelity %v unexpected", ro.Fidelity)
+	}
+}
+
+func TestCharacterizeSeqOp(t *testing.T) {
+	c := NewSeqOp(stdStorage, stdComputeRO, stdComputeRO())
+	ch, err := CharacterizeSeqOp(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ch.MustOp("stored-cnot")
+	if op.Duration != 4*0.1+0.1 {
+		t.Fatalf("stored-cnot duration %g", op.Duration)
+	}
+	if op.Fidelity >= 1 || op.Fidelity < 0.99 {
+		t.Fatalf("stored-cnot fidelity %v", op.Fidelity)
+	}
+}
+
+func TestCharacterizeUSC(t *testing.T) {
+	c := NewUSC(stdStorage, stdComputeRO, stdComputeRO())
+	ch, err := CharacterizeUSC(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ch.MustOp("check-step")
+	if math.Abs(op.Duration-0.3) > 1e-12 {
+		t.Fatalf("check-step duration %g", op.Duration)
+	}
+	if op.Fidelity >= 1 || op.Fidelity < 0.995 {
+		t.Fatalf("check-step fidelity %v", op.Fidelity)
+	}
+}
+
+func TestCharacterizationErrorRateHelpers(t *testing.T) {
+	r := OpReport{Name: "x", Duration: 1, Fidelity: 0.99}
+	if math.Abs(r.ErrorRate()-0.01) > 1e-12 {
+		t.Fatal("ErrorRate wrong")
+	}
+	ch := &Characterization{Cell: "c", Ops: []OpReport{r}}
+	if _, ok := ch.Op("nope"); ok {
+		t.Fatal("Op should miss")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustOp should panic on miss")
+		}
+	}()
+	ch.MustOp("nope")
+}

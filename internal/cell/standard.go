@@ -1,0 +1,164 @@
+package cell
+
+import (
+	"fmt"
+
+	"hetarch/internal/device"
+)
+
+// The four standard cells of Table 2. Each constructor returns a cell that
+// satisfies the design rules (verified in tests via CheckDesignRules).
+
+// NewRegister builds the Register cell: a high-capacity storage device
+// coupled to one compute device that manages input/output. externalLinks
+// (0..3) reserves connections from the compute device to other cells.
+// The compute device must not have readout (DR4: registers never measure).
+func NewRegister(storage, compute *device.Device, externalLinks int) *Cell {
+	if storage.Kind != device.Storage {
+		panic(fmt.Sprintf("cell: %s is not a storage device", storage.Name))
+	}
+	if compute.Kind != device.Compute {
+		panic(fmt.Sprintf("cell: %s is not a compute device", compute.Name))
+	}
+	if externalLinks < 0 || externalLinks > 3 {
+		panic("cell: Register compute supports 0..3 external links")
+	}
+	return &Cell{
+		Name: "Register",
+		Elements: []Element{
+			{Name: "storage", Dev: storage},
+			{Name: "compute", Dev: compute},
+		},
+		Couplings:   [][2]int{{0, 1}},
+		External:    map[int]int{1: externalLinks},
+		ReadoutNeed: 0,
+	}
+}
+
+// NewParCheck builds the parity-check cell: two compute devices, one with
+// readout, coupled together, each with up to three external links.
+func NewParCheck(computeNoRO, computeRO *device.Device) *Cell {
+	if computeNoRO.HasReadout {
+		panic("cell: ParCheck data-side compute must not have readout (DR4)")
+	}
+	if !computeRO.HasReadout {
+		panic("cell: ParCheck measure-side compute needs readout")
+	}
+	return &Cell{
+		Name: "ParCheck",
+		Elements: []Element{
+			{Name: "data", Dev: computeNoRO},
+			{Name: "ancilla", Dev: computeRO},
+		},
+		Couplings:   [][2]int{{0, 1}},
+		External:    map[int]int{0: 3, 1: 3},
+		ReadoutNeed: 1,
+	}
+}
+
+// NewSeqOp builds the sequential-operations cell: two Register sub-cells
+// whose compute devices are coupled to each other and to a readout-capable
+// parity-check compute device (a triangle), optimized for long sequences of
+// two-qubit gates between stored qubits with interleaved parity checks.
+func NewSeqOp(storage, compute func() *device.Device, parityRO *device.Device) *Cell {
+	if !parityRO.HasReadout {
+		panic("cell: SeqOp parity compute needs readout")
+	}
+	c := &Cell{
+		Name: "SeqOp",
+		Elements: []Element{
+			{Name: "reg0.storage", Dev: storage(), SubCell: "reg0"},
+			{Name: "reg0.compute", Dev: noReadout(compute()), SubCell: "reg0"},
+			{Name: "reg1.storage", Dev: storage(), SubCell: "reg1"},
+			{Name: "reg1.compute", Dev: noReadout(compute()), SubCell: "reg1"},
+			{Name: "parity", Dev: parityRO},
+		},
+		Couplings: [][2]int{
+			{0, 1}, // reg0 storage-compute
+			{2, 3}, // reg1 storage-compute
+			{1, 3}, // direct two-qubit gates between registers
+			{1, 4}, // parity link
+			{3, 4},
+		},
+		// Up to two external links from each register compute, one optional
+		// from the parity compute.
+		External:    map[int]int{1: 1, 3: 1, 4: 1},
+		ReadoutNeed: 1,
+	}
+	return c
+}
+
+// NewUSC builds the universal stabilizer cell: three Register sub-cells
+// arranged around a central readout-capable compute device holding the
+// ancilla for serialized stabilizer checks.
+func NewUSC(storage, compute func() *device.Device, parityRO *device.Device) *Cell {
+	if !parityRO.HasReadout {
+		panic("cell: USC parity compute needs readout")
+	}
+	c := &Cell{
+		Name: "USC",
+		Elements: []Element{
+			{Name: "reg0.storage", Dev: storage(), SubCell: "reg0"},
+			{Name: "reg0.compute", Dev: noReadout(compute()), SubCell: "reg0"},
+			{Name: "reg1.storage", Dev: storage(), SubCell: "reg1"},
+			{Name: "reg1.compute", Dev: noReadout(compute()), SubCell: "reg1"},
+			{Name: "reg2.storage", Dev: storage(), SubCell: "reg2"},
+			{Name: "reg2.compute", Dev: noReadout(compute()), SubCell: "reg2"},
+			{Name: "parity", Dev: parityRO},
+		},
+		Couplings: [][2]int{
+			{0, 1}, {2, 3}, {4, 5}, // registers
+			{1, 6}, {3, 6}, {5, 6}, // star around the parity ancilla
+		},
+		// One outgoing connection from each register compute and from the
+		// ancilla (three additional links remain within DR1 if needed).
+		External:    map[int]int{1: 1, 3: 1, 5: 1, 6: 1},
+		ReadoutNeed: 1,
+	}
+	return c
+}
+
+// NewUSCExt builds the USC extension cell with two Registers, used to chain
+// universal stabilizer cells for codes larger than three registers while
+// respecting the design rules.
+func NewUSCExt(storage, compute func() *device.Device, parityRO *device.Device) *Cell {
+	if !parityRO.HasReadout {
+		panic("cell: USC-EXT parity compute needs readout")
+	}
+	return &Cell{
+		Name: "USC-EXT",
+		Elements: []Element{
+			{Name: "reg0.storage", Dev: storage(), SubCell: "reg0"},
+			{Name: "reg0.compute", Dev: noReadout(compute()), SubCell: "reg0"},
+			{Name: "reg1.storage", Dev: storage(), SubCell: "reg1"},
+			{Name: "reg1.compute", Dev: noReadout(compute()), SubCell: "reg1"},
+			{Name: "parity", Dev: parityRO},
+		},
+		Couplings: [][2]int{
+			{0, 1}, {2, 3},
+			{1, 4}, {3, 4},
+		},
+		// Two links to chain with neighboring USC/USC-EXT cells.
+		External:    map[int]int{1: 1, 3: 1, 4: 2},
+		ReadoutNeed: 1,
+	}
+}
+
+// noReadout strips readout capability from a compute device, for register
+// computes that must satisfy DR4.
+func noReadout(d *device.Device) *device.Device {
+	if !d.HasReadout {
+		return d
+	}
+	c := d.Clone()
+	c.HasReadout = false
+	c.ReadoutTime = 0
+	lines := c.ControlLines[:0]
+	for _, l := range c.ControlLines {
+		if l != "readout" {
+			lines = append(lines, l)
+		}
+	}
+	c.ControlLines = lines
+	return c
+}

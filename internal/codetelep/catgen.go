@@ -1,0 +1,156 @@
+package codetelep
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"hetarch/internal/stabsim"
+)
+
+// CAT-generator sub-module, simulated: the SeqOp cells grow a GHZ state by
+// sequential CNOTs (one remote CNOT consuming the bridging EP), then verify
+// it with parity checks that consume further EPs; generation is
+// post-selected on clean verification. The Monte Carlo yields the
+// acceptance rate and — the number the CT error budget needs — the
+// probability that an ACCEPTED cat still carries an undetected Z-type
+// fault. In the CT protocol the cat is measured transversally in X
+// (step 5), so Z/Y frames flip measurement outcomes and corrupt the
+// inferred X_A·X_B parity: a logical fault no later correction catches.
+// X-type cat errors, by contrast, inject physical data errors through the
+// step-4 CNOTs and are absorbed by each code's own error correction.
+//
+// Verification therefore measures both GHZ stabilizer types: the global
+// X^⊗n check (catches single Z faults) and pairwise Z_a·Z_b probes
+// (catch X faults before they reach the data).
+type CatGenParams struct {
+	Size         int     // cat qubits (|supp X_A| + |supp X_B|)
+	P2           float64 // two-qubit gate error per chain CNOT
+	EPInfidelity float64 // bridging-EP infidelity, injected at the seam
+	VerifyChecks int     // post-selected parity checks
+	// Per-qubit idle channel accumulated over the generation window.
+	IdlePX, IdlePY, IdlePZ float64
+
+	Shots int
+	Seed  int64
+}
+
+// CatGenResult summarizes the simulation.
+type CatGenResult struct {
+	Shots         int
+	Accepted      int
+	ResidualFlips int // accepted shots with an undetected X-parity error
+}
+
+// AcceptRate is the fraction of generation attempts passing verification.
+func (r CatGenResult) AcceptRate() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Accepted) / float64(r.Shots)
+}
+
+// ResidualErrorRate is the undetected-error probability among accepted
+// cats — the verified CAT's contribution to the CT budget.
+func (r CatGenResult) ResidualErrorRate() float64 {
+	if r.Accepted == 0 {
+		return 1
+	}
+	return float64(r.ResidualFlips) / float64(r.Accepted)
+}
+
+// SimulateCatGen runs the generator. The verification checks measure the
+// Z_i·Z_j stabilizers of the GHZ state between evenly-spread probe pairs
+// (each consuming one EP in hardware); any X-type error between the probes
+// fires a check. The reported observable is the X-parity over the whole
+// cat, the fault that matters downstream.
+func SimulateCatGen(p CatGenParams) CatGenResult {
+	n := p.Size
+	if n < 2 {
+		panic("codetelep: cat needs at least 2 qubits")
+	}
+	anc := n
+	c := stabsim.NewCircuit(n + 1)
+
+	// Growth chain.
+	c.H(0)
+	bridge := n / 2 // the seam between node A's half and node B's half
+	for i := 1; i < n; i++ {
+		c.CX(i-1, i)
+		c.Depolarize2(p.P2, i-1, i)
+		if i == bridge && p.EPInfidelity > 0 {
+			// The remote CNOT runs over the bridging EP; its infidelity
+			// lands on the seam pair as depolarizing noise.
+			c.Depolarize2(p.EPInfidelity, i-1, i)
+		}
+	}
+	// Idle over the generation window.
+	if p.IdlePX+p.IdlePY+p.IdlePZ > 0 {
+		for q := 0; q < n; q++ {
+			c.PauliChannel1(p.IdlePX, p.IdlePY, p.IdlePZ, q)
+		}
+	}
+
+	// Verification check 1: the global X^⊗n stabilizer, measured through
+	// the ancilla (H · CX fan-out · H). A single Z fault anywhere flips it.
+	c.H(anc)
+	for q := 0; q < n; q++ {
+		c.CX(anc, q)
+		c.Depolarize2(p.P2, anc, q)
+	}
+	c.H(anc)
+	c.MR(0, anc)
+	c.Detector(-1)
+
+	// Remaining checks: Z_a·Z_b probes between evenly spread pairs.
+	for v := 1; v < p.VerifyChecks; v++ {
+		a := ((v - 1) * n) / p.VerifyChecks
+		b := ((v + 1) * n) / p.VerifyChecks
+		if b >= n {
+			b = n - 1
+		}
+		if a == b {
+			continue
+		}
+		c.CX(a, anc)
+		c.Depolarize2(p.P2, a, anc)
+		c.CX(b, anc)
+		c.Depolarize2(p.P2, b, anc)
+		c.MR(0, anc)
+		c.Detector(-1)
+	}
+
+	// Final transversal X measurement (as consumed by CT step 5); the
+	// observable is the parity of all outcomes — flipped by undetected
+	// Z-type faults.
+	all := make([]int, n)
+	recs := make([]int, n)
+	for i := range all {
+		all[i] = i
+		recs[i] = -(n - i)
+	}
+	c.H(all...)
+	c.M(all...)
+	c.Observable(0, recs...)
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	bs := stabsim.NewBatchFrameSampler(c, rng)
+	res := CatGenResult{Shots: p.Shots}
+	for done := 0; done < p.Shots; done += 64 {
+		batch := bs.SampleBatch()
+		k := 64
+		if p.Shots-done < k {
+			k = p.Shots - done
+		}
+		var reject uint64
+		for _, d := range batch.Detectors {
+			reject |= d
+		}
+		accepted := ^reject
+		if k < 64 {
+			accepted &= (1 << uint(k)) - 1
+		}
+		res.Accepted += bits.OnesCount64(accepted)
+		res.ResidualFlips += bits.OnesCount64(accepted & batch.Observables[0])
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package codetelep
+
+import (
+	"testing"
+)
+
+func TestCatGenNoiselessPerfect(t *testing.T) {
+	r := SimulateCatGen(CatGenParams{Size: 16, VerifyChecks: 2, Shots: 1000, Seed: 1})
+	if r.AcceptRate() != 1 {
+		t.Fatalf("noiseless acceptance %v", r.AcceptRate())
+	}
+	if r.ResidualFlips != 0 {
+		t.Fatal("noiseless residual errors")
+	}
+}
+
+func TestCatGenVerificationCatchesErrors(t *testing.T) {
+	base := CatGenParams{Size: 16, P2: 0.01, VerifyChecks: 2, Shots: 20000, Seed: 2}
+	verified := SimulateCatGen(base)
+	unverified := base
+	unverified.VerifyChecks = 0
+	raw := SimulateCatGen(unverified)
+	if verified.AcceptRate() >= 1 {
+		t.Fatal("noisy generation should sometimes be rejected")
+	}
+	// The X^n check catches single Z faults, so the verified residual must
+	// be well below the unverified rate.
+	if verified.ResidualErrorRate() >= raw.ResidualErrorRate() {
+		t.Fatalf("verification did not help: %v vs %v",
+			verified.ResidualErrorRate(), raw.ResidualErrorRate())
+	}
+}
+
+func TestCatGenResidualGrowsWithNoise(t *testing.T) {
+	mk := func(p2 float64) float64 {
+		return SimulateCatGen(CatGenParams{Size: 20, P2: p2, VerifyChecks: 2, Shots: 30000, Seed: 3}).ResidualErrorRate()
+	}
+	low := mk(0.002)
+	high := mk(0.03)
+	if low >= high {
+		t.Fatalf("residual scaling broken: %v (0.2%%) vs %v (3%%)", low, high)
+	}
+}
+
+func TestCatGenEPInfidelityHurts(t *testing.T) {
+	clean := SimulateCatGen(CatGenParams{Size: 16, P2: 0.005, VerifyChecks: 2, Shots: 30000, Seed: 4})
+	bridged := SimulateCatGen(CatGenParams{Size: 16, P2: 0.005, EPInfidelity: 0.1, VerifyChecks: 2, Shots: 30000, Seed: 4})
+	if bridged.AcceptRate() >= clean.AcceptRate() {
+		t.Fatal("a noisy bridge should lower acceptance")
+	}
+	if bridged.ResidualErrorRate() <= clean.ResidualErrorRate() {
+		t.Fatal("a noisy bridge should raise the residual")
+	}
+}
+
+func TestCatGenPanicsOnTinyCat(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SimulateCatGen(CatGenParams{Size: 1, Shots: 10})
+}

@@ -1,0 +1,285 @@
+package codetelep
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hetarch/internal/pauli"
+	"hetarch/internal/qec"
+)
+
+// Protocol-level implementation of CT state preparation (Fig. 10 of the
+// paper), executed exactly on the stabilizer tableau. This is the
+// correctness backbone behind the module-level error budget: it prepares
+// the logical Bell state |Φ+⟩_AB = (|0_A 0_B⟩ + |1_A 1_B⟩)/√2 between two
+// arbitrary CSS codes through the paper's six steps —
+//
+//  1. create EPs,
+//  2. remote CNOTs grow a CAT state spanning both nodes,
+//  3. prepare a logical basis state in each code,
+//  4. transversal CNOTs entangle the codes with the CAT,
+//  5. measure the CAT transversally in X (a Shor-style measurement of the
+//     joint logical X_A·X_B),
+//  6. apply the Pauli correction selected by the measurement parity.
+//
+// The CAT acts as the ancilla of a fault-tolerant joint-parity measurement:
+// with the codes prepared in |0⟩_L ⊗ |0⟩_L (stabilized by Z_A and Z_B),
+// projecting X_A·X_B onto +1 leaves exactly the stabilizer group
+// {stabilizers, X_A X_B, Z_A Z_B} — the CT resource state.
+
+// CTLayout records the qubit indexing of a prepared CT state.
+type CTLayout struct {
+	CodeA, CodeB *qec.Code
+	// Data qubit q of code A is tableau qubit AStart+q; likewise for B.
+	AStart, BStart int
+	// CAT qubits (consumed by the protocol's measurement).
+	CatStart, CatSize int
+	Total             int
+}
+
+// PrepareCTState runs the noiseless CT protocol between two CSS codes on a
+// stabilizer tableau and returns it with the layout. The preparation is
+// exact: afterwards the state is stabilized by every stabilizer of both
+// codes and by the joint logical operators X_A·X_B and Z_A·Z_B
+// (VerifyCTState checks all of them).
+func PrepareCTState(codeA, codeB *qec.Code, rng *rand.Rand) (*pauli.Tableau, *CTLayout, error) {
+	if codeA == nil || codeB == nil {
+		return nil, nil, fmt.Errorf("codetelep: nil code")
+	}
+	supA := qec.Support(codeA.LogicalX)
+	supB := qec.Support(codeB.LogicalX)
+	layout := &CTLayout{
+		CodeA:    codeA,
+		CodeB:    codeB,
+		AStart:   0,
+		BStart:   codeA.N,
+		CatStart: codeA.N + codeB.N,
+		CatSize:  len(supA) + len(supB),
+	}
+	layout.Total = layout.CatStart + layout.CatSize
+	tb := pauli.NewTableau(layout.Total)
+
+	// Step 3 (first here; the CAT can be grown concurrently): prepare
+	// logical |0⟩ in each code. Fresh |0…0⟩ already satisfies the Z
+	// stabilizers and logical Z; the X stabilizers are projected and
+	// corrected.
+	if err := prepareLogicalZero(tb, codeA, layout.AStart, rng); err != nil {
+		return nil, nil, fmt.Errorf("code A: %w", err)
+	}
+	if err := prepareLogicalZero(tb, codeB, layout.BStart, rng); err != nil {
+		return nil, nil, fmt.Errorf("code B: %w", err)
+	}
+
+	// Steps 1+2: grow the CAT (GHZ) state across both halves. Physically
+	// the two halves live at nodes A and B, bridged by a distilled EP and
+	// remote CNOTs; noiselessly this is a CNOT chain from one seed qubit
+	// (the link crossing the A|B boundary is the bridging EP).
+	tb.H(layout.CatStart)
+	for i := 1; i < layout.CatSize; i++ {
+		tb.CX(layout.CatStart+i-1, layout.CatStart+i)
+	}
+
+	// Step 4: transversal CNOTs, CAT as control, onto the supports of the
+	// two logical X operators.
+	cat := layout.CatStart
+	for _, q := range supA {
+		tb.CX(cat, layout.AStart+q)
+		cat++
+	}
+	for _, q := range supB {
+		tb.CX(cat, layout.BStart+q)
+		cat++
+	}
+
+	// Step 5: measure every CAT qubit in the X basis; the outcome parity
+	// is the eigenvalue of X_A·X_B.
+	parity := 0
+	for i := 0; i < layout.CatSize; i++ {
+		q := layout.CatStart + i
+		tb.H(q)
+		out, _ := tb.MeasureZ(q, rng)
+		parity ^= out
+	}
+
+	// Step 6: correction. Parity 1 means X_A·X_B was projected onto −1;
+	// logical Z on either side anticommutes with it and flips the sign.
+	if parity == 1 {
+		applyLogical(tb, codeA.LogicalZ, layout.AStart)
+	}
+	return tb, layout, nil
+}
+
+// prepareLogicalZero projects a block of fresh |0…0⟩ qubits into the code's
+// logical |0⟩: the X stabilizers are measured one by one and −1 outcomes
+// are corrected with a Z pattern solved exactly over F2.
+func prepareLogicalZero(tb *pauli.Tableau, code *qec.Code, start int, rng *rand.Rand) error {
+	if code.N > 63 {
+		return fmt.Errorf("codetelep: protocol supports codes up to 63 qubits")
+	}
+	outcomes := make([]int, len(code.XStabs))
+	for i, stab := range code.XStabs {
+		out, err := measureXParity(tb, stab, start, rng)
+		if err != nil {
+			return fmt.Errorf("X stabilizer %d: %w", i, err)
+		}
+		outcomes[i] = out
+	}
+	// Solve for a Z-correction pattern z with ⟨z, supp(Xᵢ)⟩ = outcomeᵢ.
+	// Z corrections commute with the Z stabilizers and logical Z, so the
+	// solution cannot disturb the rest of the projection.
+	masks := make([]uint64, len(code.XStabs))
+	bits := make([]int, len(code.XStabs))
+	for i, stab := range code.XStabs {
+		for _, q := range qec.Support(stab) {
+			masks[i] |= 1 << uint(q)
+		}
+		bits[i] = outcomes[i]
+	}
+	z, err := solveF2(masks, bits, code.N)
+	if err != nil {
+		return err
+	}
+	for q := 0; q < code.N; q++ {
+		if z>>uint(q)&1 == 1 {
+			tb.Z(start + q)
+		}
+	}
+	// All X stabilizers must now read +1 (deterministically).
+	for i, stab := range code.XStabs {
+		out, err := measureXParity(tb, stab, start, rng)
+		if err != nil {
+			return err
+		}
+		if out != 0 {
+			return fmt.Errorf("codetelep: X stabilizer %d not corrected", i)
+		}
+	}
+	return nil
+}
+
+// measureXParity measures the joint X parity of a stabilizer's support: a
+// basis change H^⊗support maps it to a Z parity, which is measured by CNOT
+// fan-in onto the head qubit and exactly un-computed.
+func measureXParity(tb *pauli.Tableau, stab *pauli.String, start int, rng *rand.Rand) (int, error) {
+	sup := qec.Support(stab)
+	if len(sup) == 0 {
+		return 0, fmt.Errorf("codetelep: empty stabilizer")
+	}
+	for _, q := range sup {
+		tb.H(start + q)
+	}
+	head := start + sup[0]
+	for _, q := range sup[1:] {
+		tb.CX(start+q, head)
+	}
+	out, _ := tb.MeasureZ(head, rng)
+	for i := len(sup) - 1; i >= 1; i-- {
+		tb.CX(start+sup[i], head)
+	}
+	for _, q := range sup {
+		tb.H(start + q)
+	}
+	return out, nil
+}
+
+// solveF2 finds any x with maskᵢ·x = bitᵢ (mod 2) by full Gauss–Jordan
+// elimination to reduced row-echelon form, then reading each pivot variable
+// off its row (free variables are set to zero).
+func solveF2(masks []uint64, bits []int, n int) (uint64, error) {
+	rows := make([]uint64, len(masks))
+	rhs := make([]int, len(bits))
+	copy(rows, masks)
+	copy(rhs, bits)
+	pivotCol := make([]int, len(rows))
+	for i := range pivotCol {
+		pivotCol[i] = -1
+	}
+	used := make([]bool, len(rows))
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for i := range rows {
+			if !used[i] && rows[i]>>uint(col)&1 == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		used[pivot] = true
+		pivotCol[pivot] = col
+		for i := range rows {
+			if i != pivot && rows[i]>>uint(col)&1 == 1 {
+				rows[i] ^= rows[pivot]
+				rhs[i] ^= rhs[pivot]
+			}
+		}
+	}
+	var x uint64
+	for i := range rows {
+		if !used[i] {
+			if rhs[i] == 1 {
+				return 0, fmt.Errorf("codetelep: inconsistent correction system")
+			}
+			continue
+		}
+		// Row i now reads x_pivot + Σ(free columns) = rhs; free vars are 0.
+		if rhs[i] == 1 {
+			x |= 1 << uint(pivotCol[i])
+		}
+	}
+	return x, nil
+}
+
+// applyLogical applies a logical Pauli operator to a code block.
+func applyLogical(tb *pauli.Tableau, logical *pauli.String, start int) {
+	for _, q := range qec.Support(logical) {
+		switch logical.LetterAt(q) {
+		case 'X':
+			tb.X(start + q)
+		case 'Y':
+			tb.Y(start + q)
+		case 'Z':
+			tb.Z(start + q)
+		}
+	}
+}
+
+// VerifyCTState checks that the tableau is stabilized by every stabilizer
+// of both codes and by the joint logical operators X_A X_B and Z_A Z_B —
+// the defining stabilizers of |Φ+⟩_AB. It returns nil on success.
+func VerifyCTState(tb *pauli.Tableau, layout *CTLayout) error {
+	check := func(p *pauli.String, what string) error {
+		in, sign := tb.IsStabilizedBy(p)
+		if !in || !sign {
+			return fmt.Errorf("codetelep: state not stabilized by %s (in=%v sign=%v)", what, in, sign)
+		}
+		return nil
+	}
+	embed := func(src *pauli.String, start int) *pauli.String {
+		p := pauli.NewString(layout.Total)
+		for _, q := range qec.Support(src) {
+			p.SetLetter(start+q, src.LetterAt(q))
+		}
+		return p
+	}
+	for i, s := range append(append([]*pauli.String{}, layout.CodeA.XStabs...), layout.CodeA.ZStabs...) {
+		if err := check(embed(s, layout.AStart), fmt.Sprintf("A stabilizer %d", i)); err != nil {
+			return err
+		}
+	}
+	for i, s := range append(append([]*pauli.String{}, layout.CodeB.XStabs...), layout.CodeB.ZStabs...) {
+		if err := check(embed(s, layout.BStart), fmt.Sprintf("B stabilizer %d", i)); err != nil {
+			return err
+		}
+	}
+	// Joint logicals: X_A·X_B and Z_A·Z_B stabilize |Φ+⟩_AB.
+	jointX := embed(layout.CodeA.LogicalX, layout.AStart)
+	jointX.Mul(embed(layout.CodeB.LogicalX, layout.BStart))
+	if err := check(jointX, "joint logical XX"); err != nil {
+		return err
+	}
+	jointZ := embed(layout.CodeA.LogicalZ, layout.AStart)
+	jointZ.Mul(embed(layout.CodeB.LogicalZ, layout.BStart))
+	return check(jointZ, "joint logical ZZ")
+}

@@ -1,0 +1,102 @@
+package codetelep
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetarch/internal/pauli"
+	"hetarch/internal/qec"
+)
+
+func TestPrepareCTStateAllPairs(t *testing.T) {
+	sc3, _ := qec.Surface(3)
+	sc4, _ := qec.Surface(4)
+	codes := []*qec.Code{qec.Steane(), qec.ReedMuller15(), qec.TriColor5(), sc3, sc4}
+	for i := range codes {
+		for j := range codes {
+			if i == j {
+				continue
+			}
+			rng := rand.New(rand.NewSource(int64(i*10 + j)))
+			tb, layout, err := PrepareCTState(codes[i], codes[j], rng)
+			if err != nil {
+				t.Fatalf("%s & %s: %v", codes[i].Name, codes[j].Name, err)
+			}
+			if err := VerifyCTState(tb, layout); err != nil {
+				t.Fatalf("%s & %s: %v", codes[i].Name, codes[j].Name, err)
+			}
+		}
+	}
+}
+
+func TestPrepareCTStateRepeatedSeeds(t *testing.T) {
+	// The measurement outcomes are random; the correction must fix every
+	// branch.
+	sc3, _ := qec.Surface(3)
+	for seed := int64(0); seed < 25; seed++ {
+		tb, layout, err := PrepareCTState(qec.Steane(), sc3, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := VerifyCTState(tb, layout); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestCTStateIsNotStabilizedByWrongOperators(t *testing.T) {
+	sc3, _ := qec.Surface(3)
+	rng := rand.New(rand.NewSource(1))
+	tb, layout, err := PrepareCTState(qec.Steane(), sc3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Individual logical X_A must NOT stabilize the Bell state (only the
+	// joint product does).
+	embed := func(src *pauli.String, start int) *pauli.String {
+		p := pauli.NewString(layout.Total)
+		for _, q := range qec.Support(src) {
+			p.SetLetter(start+q, src.LetterAt(q))
+		}
+		return p
+	}
+	p := embed(layout.CodeA.LogicalX, layout.AStart)
+	if in, sign := tb.IsStabilizedBy(p); in && sign {
+		t.Fatal("X_A alone must not stabilize the CT state")
+	}
+	pz := embed(layout.CodeA.LogicalZ, layout.AStart)
+	if in, sign := tb.IsStabilizedBy(pz); in && sign {
+		t.Fatal("Z_A alone must not stabilize the CT state")
+	}
+}
+
+func TestPrepareCTStateNilCode(t *testing.T) {
+	if _, _, err := PrepareCTState(nil, qec.Steane(), rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSolveF2(t *testing.T) {
+	// x0+x1 = 1, x1+x2 = 0, x0+x2 = 1
+	masks := []uint64{0b011, 0b110, 0b101}
+	x, err := solveF2(masks, []int{1, 0, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range masks {
+		par := 0
+		v := m & x
+		for v != 0 {
+			par ^= int(v & 1)
+			v >>= 1
+		}
+		want := []int{1, 0, 1}[i]
+		if par != want {
+			t.Fatalf("row %d: parity %d want %d (x=%b)", i, par, want, x)
+		}
+	}
+	// Inconsistent: x0 = 0 and x0 = 1.
+	if _, err := solveF2([]uint64{1, 1}, []int{0, 1}, 1); err == nil {
+		t.Fatal("expected inconsistency error")
+	}
+}

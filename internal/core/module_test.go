@@ -1,0 +1,221 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"hetarch/internal/cell"
+	"hetarch/internal/device"
+)
+
+func testRegister() *cell.Cell {
+	return cell.NewRegister(device.StandardStorage(12500, 10), device.StandardComputeNoReadout(500), 2)
+}
+
+func testModule() *Module {
+	input := NewModule("InputMemory").AddCell(testRegister()).AddCell(testRegister())
+	distil := NewModule("Distil").AddCell(cell.NewParCheck(device.StandardComputeNoReadout(500), device.StandardCompute(500)))
+	output := NewModule("OutputMemory").AddCell(testRegister())
+	return NewModule("EntanglementDistillation").
+		AddSubModule(input).AddSubModule(distil).AddSubModule(output)
+}
+
+func TestModuleRollups(t *testing.T) {
+	m := testModule()
+	if got := len(m.AllCells()); got != 4 {
+		t.Fatalf("AllCells = %d", got)
+	}
+	// 3 registers: each (25+4) mm^2; parcheck: 2*4 mm^2
+	want := 3*29.0 + 8.0
+	if math.Abs(m.FootprintArea()-want) > 1e-9 {
+		t.Fatalf("footprint %g, want %g", m.FootprintArea(), want)
+	}
+	// registers: drive+charge = 2 each; parcheck: charge + charge+readout = 3
+	if m.ControlOverhead() != 3*2+3 {
+		t.Fatalf("control overhead %d", m.ControlOverhead())
+	}
+	// capacity: registers 11 each, parcheck 2
+	if m.QubitCapacity() != 3*11+2 {
+		t.Fatalf("capacity %d", m.QubitCapacity())
+	}
+}
+
+func TestModuleWalkOrder(t *testing.T) {
+	m := testModule()
+	var names []string
+	m.Walk(func(mod *Module) { names = append(names, mod.Name) })
+	if len(names) != 4 || names[0] != "EntanglementDistillation" || names[1] != "InputMemory" {
+		t.Fatalf("walk order %v", names)
+	}
+}
+
+func TestModuleValidateDesignRules(t *testing.T) {
+	m := testModule()
+	if v := m.ValidateDesignRules(); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Break one cell.
+	m.SubModules[0].Cells[0].External[1] = 9
+	if v := m.ValidateDesignRules(); len(v) == 0 {
+		t.Fatal("violation not surfaced")
+	}
+}
+
+func TestModuleTree(t *testing.T) {
+	s := testModule().Tree()
+	for _, want := range []string{"EntanglementDistillation", "InputMemory", "[cell] Register", "[cell] ParCheck"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("tree missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCharacterizerCaches(t *testing.T) {
+	ch := NewCharacterizer()
+	runs := 0
+	fn := func(c *cell.Cell) (*cell.Characterization, error) {
+		runs++
+		return cell.CharacterizeRegister(c)
+	}
+	reg := testRegister()
+	for i := 0; i < 5; i++ {
+		if _, err := ch.Characterize("reg:ts=12500,tc=500", reg, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if runs != 1 {
+		t.Fatalf("characterization ran %d times, want 1", runs)
+	}
+	calls, hits := ch.Stats()
+	if calls != 5 || hits != 4 {
+		t.Fatalf("stats (%d,%d)", calls, hits)
+	}
+	// Different key -> new run.
+	if _, err := ch.Characterize("reg:ts=50000,tc=500", reg, fn); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatal("distinct key should re-run")
+	}
+}
+
+func TestCharacterizerPropagatesErrors(t *testing.T) {
+	ch := NewCharacterizer()
+	wantErr := errors.New("boom")
+	_, err := ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		return nil, wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatal("error not propagated")
+	}
+	// Errors must not be cached.
+	ran := false
+	_, _ = ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		ran = true
+		return &cell.Characterization{}, nil
+	})
+	if !ran {
+		t.Fatal("failed result was cached")
+	}
+}
+
+func TestErrorBudget(t *testing.T) {
+	var b ErrorBudget
+	b.Add("distill", 0.002, 10)
+	b.Add("cat", 0.003, 5)
+	b.Add("uec", 0.001, 20)
+	if math.Abs(b.TotalErrorRate()-0.006) > 1e-12 {
+		t.Fatalf("total rate %v", b.TotalErrorRate())
+	}
+	if math.Abs(b.TotalDuration()-35) > 1e-12 {
+		t.Fatalf("total duration %v", b.TotalDuration())
+	}
+	if !strings.Contains(b.String(), "TOTAL") {
+		t.Fatal("budget string missing total")
+	}
+}
+
+func TestErrorBudgetCaps(t *testing.T) {
+	var b ErrorBudget
+	b.Add("a", 0.7, 0)
+	b.Add("b", 0.6, 0)
+	if b.TotalErrorRate() != 1 {
+		t.Fatal("budget should cap at 1")
+	}
+}
+
+func TestSweepFullFactorial(t *testing.T) {
+	params := []Param{
+		{Name: "ts", Values: []float64{1, 2, 3}},
+		{Name: "rate", Values: []float64{10, 20}},
+	}
+	var seen []Point
+	results := Sweep(params, func(p Point) map[string]float64 {
+		seen = append(seen, p)
+		return map[string]float64{"err": p["ts"] * p["rate"]}
+	})
+	if len(results) != 6 || len(seen) != 6 {
+		t.Fatalf("sweep size %d", len(results))
+	}
+	if results[0].Point["ts"] != 1 || results[0].Point["rate"] != 10 {
+		t.Fatal("sweep order wrong")
+	}
+	if results[5].Metrics["err"] != 60 {
+		t.Fatal("metrics wrong")
+	}
+}
+
+func TestParetoFront(t *testing.T) {
+	results := []Result{
+		{Metrics: map[string]float64{"err": 0.1, "area": 10}},
+		{Metrics: map[string]float64{"err": 0.2, "area": 5}},
+		{Metrics: map[string]float64{"err": 0.3, "area": 20}}, // dominated
+		{Metrics: map[string]float64{"err": 0.05, "area": 50}},
+	}
+	front := ParetoFront(results, []string{"err", "area"})
+	if len(front) != 3 {
+		t.Fatalf("front size %d, want 3", len(front))
+	}
+	// Sorted by first metric.
+	if front[0].Metrics["err"] != 0.05 {
+		t.Fatal("front not sorted")
+	}
+	for _, r := range front {
+		if r.Metrics["err"] == 0.3 {
+			t.Fatal("dominated point in front")
+		}
+	}
+}
+
+func TestCharacterizerConcurrentAccess(t *testing.T) {
+	ch := NewCharacterizer()
+	reg := testRegister()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 20; i++ {
+				key := []string{"a", "b", "c"}[i%3]
+				_, err := ch.Characterize(key, reg, cell.CharacterizeRegister)
+				if err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	calls, hits := ch.Stats()
+	if calls != 160 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if hits < calls-3*8 { // at most a few misses per distinct key across racing goroutines
+		t.Fatalf("hits = %d of %d", hits, calls)
+	}
+}

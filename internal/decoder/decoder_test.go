@@ -1,0 +1,288 @@
+package decoder
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetarch/internal/qec"
+)
+
+func steaneZMasks() []uint64 {
+	// Z stabilizer supports of the Steane code (detect X errors).
+	return []uint64{
+		1<<0 | 1<<2 | 1<<4 | 1<<6,
+		1<<1 | 1<<2 | 1<<5 | 1<<6,
+		1<<3 | 1<<4 | 1<<5 | 1<<6,
+	}
+}
+
+func TestLookupSteaneSingleErrors(t *testing.T) {
+	l := NewLookup(7, steaneZMasks())
+	if l.TableSize() != 8 {
+		t.Fatalf("Steane table size %d, want 8", l.TableSize())
+	}
+	for q := 0; q < 7; q++ {
+		e := uint64(1) << uint(q)
+		s := l.Syndrome(e)
+		if s == 0 {
+			t.Fatalf("single error on %d has empty syndrome", q)
+		}
+		if got := l.Decode(s); got != e {
+			t.Fatalf("qubit %d: decoded %b, want %b", q, got, e)
+		}
+	}
+	if l.Decode(0) != 0 {
+		t.Fatal("empty syndrome should decode to identity")
+	}
+}
+
+func TestLookupSyndromeLinearity(t *testing.T) {
+	l := NewLookup(7, steaneZMasks())
+	f := func(a, b uint64) bool {
+		a &= (1 << 7) - 1
+		b &= (1 << 7) - 1
+		return l.Syndrome(a^b) == l.Syndrome(a)^l.Syndrome(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func codeMasks(c *qec.Code) (xStabMasks, zStabMasks, logX, logZ uint64Masks) {
+	conv := func(ss []int) uint64 {
+		var m uint64
+		for _, q := range ss {
+			m |= 1 << uint(q)
+		}
+		return m
+	}
+	for _, s := range c.XStabs {
+		xStabMasks = append(xStabMasks, conv(qec.Support(s)))
+	}
+	for _, s := range c.ZStabs {
+		zStabMasks = append(zStabMasks, conv(qec.Support(s)))
+	}
+	logX = uint64Masks{conv(qec.Support(c.LogicalX))}
+	logZ = uint64Masks{conv(qec.Support(c.LogicalZ))}
+	return
+}
+
+type uint64Masks []uint64
+
+func TestLookupResidualNeverLogicalForCorrectableErrors(t *testing.T) {
+	// For every weight-1 X error on every small code, the decoded residual
+	// must be a stabilizer (no logical flip).
+	codes := []*qec.Code{qec.Steane(), qec.ReedMuller15(), qec.TriColor5()}
+	sc3, _ := qec.Surface(3)
+	codes = append(codes, sc3)
+	for _, c := range codes {
+		xStabs, zStabs, _, logZ := codeMasks(c)
+		l := NewLookup(c.N, zStabs) // Z checks detect X errors
+		enumerateCombinations(c.N, 1, func(e uint64) {
+			corr := l.Decode(l.Syndrome(e))
+			resid := e ^ corr
+			if qec.ReduceF2(xStabs, resid) != 0 {
+				t.Errorf("%s: weight-1 X error %b left non-stabilizer residual", c.Name, e)
+			}
+			if bits.OnesCount64(resid&logZ[0])%2 == 1 {
+				t.Errorf("%s: weight-1 X error %b caused a logical flip", c.Name, e)
+			}
+		})
+	}
+}
+
+func TestLookupCorrectsUpToHalfDistance(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		checks  []uint64 // opposite-type stabilizer supports
+		span    []uint64 // same-type stabilizer supports
+		logical uint64
+		tmax    int // max correctable weight = floor((d-1)/2)
+	}{
+		{"steane-X", 7, steaneZMasks(), steaneZMasks(), 1<<0 | 1<<1 | 1<<2, 1},
+	}
+	for _, c := range cases {
+		l := NewLookup(c.n, c.checks)
+		enumerateCombinations(c.n, c.tmax, func(e uint64) {
+			corr := l.Decode(l.Syndrome(e))
+			resid := e ^ corr
+			// Residual must commute with checks (same syndrome) and not
+			// flip the logical.
+			if bits.OnesCount64(resid&c.logical)%2 == 1 {
+				// residual flips logical only if it is a logical operator;
+				// verify it's not in the stabilizer span
+				if qec.ReduceF2(c.span, resid) != 0 {
+					t.Errorf("%s: weight-%d error %b misdecoded", c.name, c.tmax, e)
+				}
+			}
+		})
+	}
+}
+
+func TestLookupTableCompleteness(t *testing.T) {
+	// Reed-Muller Z-error sector: 10 checks -> 1024 syndromes, all reachable.
+	rm := qec.ReedMuller15()
+	var zChecks []uint64
+	for _, s := range rm.XStabs {
+		var m uint64
+		for _, q := range qec.Support(s) {
+			m |= 1 << uint(q)
+		}
+		zChecks = append(zChecks, m)
+	}
+	l := NewLookup(15, zChecks)
+	if l.TableSize() != 16 {
+		t.Fatalf("RM15 X-check table size %d, want 16", l.TableSize())
+	}
+}
+
+func lineGraph(nChecks int) *Graph {
+	// Repetition-code matching graph: checks in a line, boundary at both
+	// ends; data edge i connects check i-1 and check i. Observable flips on
+	// the leftmost data edge only.
+	g := &Graph{NumNodes: nChecks}
+	g.Edges = append(g.Edges, Edge{U: 0, V: Boundary, ObsMask: 1})
+	for i := 1; i < nChecks; i++ {
+		g.Edges = append(g.Edges, Edge{U: i - 1, V: i})
+	}
+	g.Edges = append(g.Edges, Edge{U: nChecks - 1, V: Boundary})
+	return g
+}
+
+func TestUnionFindEmptySyndrome(t *testing.T) {
+	uf := NewUnionFind(lineGraph(4))
+	if uf.Decode(make([]bool, 4)) != 0 {
+		t.Fatal("empty syndrome should predict no flip")
+	}
+}
+
+func TestUnionFindSingleDefectPairs(t *testing.T) {
+	// Two adjacent defects should be matched through the connecting edge,
+	// with no observable flip.
+	uf := NewUnionFind(lineGraph(4))
+	d := make([]bool, 4)
+	d[1], d[2] = true, true
+	if uf.Decode(d) != 0 {
+		t.Fatal("adjacent internal pair should not flip the observable")
+	}
+}
+
+func TestUnionFindBoundaryMatch(t *testing.T) {
+	// Defect at node 0 alone: nearest boundary is the left edge, which
+	// carries the observable.
+	uf := NewUnionFind(lineGraph(4))
+	d := make([]bool, 4)
+	d[0] = true
+	if uf.Decode(d) != 1 {
+		t.Fatal("left-edge defect should flip the observable")
+	}
+	// Defect at the far end should use the right boundary: no flip.
+	d = make([]bool, 4)
+	d[3] = true
+	if uf.Decode(d) != 0 {
+		t.Fatal("right-edge defect should not flip the observable")
+	}
+}
+
+func TestUnionFindMatchesExactOnRepetitionCode(t *testing.T) {
+	// d=5 repetition code, X errors with p up to 2 errors: union-find must
+	// correct every weight<=2 error (floor((5-1)/2) = 2).
+	nData := 5
+	nChecks := nData - 1
+	g := &Graph{NumNodes: nChecks}
+	// data edge 0: boundary-check0 (observable on this edge)
+	g.Edges = append(g.Edges, Edge{U: 0, V: Boundary, ObsMask: 1})
+	for i := 1; i < nData-1; i++ {
+		g.Edges = append(g.Edges, Edge{U: i - 1, V: i})
+	}
+	g.Edges = append(g.Edges, Edge{U: nChecks - 1, V: Boundary})
+	uf := NewUnionFind(g)
+
+	check := func(errMask uint64) bool {
+		// syndrome: check i fires if data i and i+1 differ
+		d := make([]bool, nChecks)
+		for i := 0; i < nChecks; i++ {
+			a := errMask >> uint(i) & 1
+			b := errMask >> uint(i+1) & 1
+			d[i] = a != b
+		}
+		// true observable flip = parity of error on data 0 (logical along
+		// a single bit for rep code readout convention: the observable is
+		// data qubit 0's value)
+		trueFlip := uint64(errMask & 1)
+		pred := uf.Decode(d)
+		return pred == trueFlip
+	}
+	// all weight 0..2 errors
+	for w := 0; w <= 2; w++ {
+		enumerateCombinations(nData, w, func(e uint64) {
+			if !check(e) {
+				t.Errorf("weight-%d error %05b misdecoded", w, e)
+			}
+		})
+	}
+}
+
+func TestUnionFindRandomErrorsBeatPhysicalRate(t *testing.T) {
+	// Statistical sanity: on a d=7 repetition code with p=0.05 iid errors,
+	// the union-find logical error rate must be well below p.
+	nData := 7
+	nChecks := nData - 1
+	g := &Graph{NumNodes: nChecks}
+	g.Edges = append(g.Edges, Edge{U: 0, V: Boundary, ObsMask: 1})
+	for i := 1; i < nData-1; i++ {
+		g.Edges = append(g.Edges, Edge{U: i - 1, V: i})
+	}
+	g.Edges = append(g.Edges, Edge{U: nChecks - 1, V: Boundary})
+	uf := NewUnionFind(g)
+	rng := rand.New(rand.NewSource(42))
+	p := 0.05
+	shots := 4000
+	fails := 0
+	for s := 0; s < shots; s++ {
+		var e uint64
+		for q := 0; q < nData; q++ {
+			if rng.Float64() < p {
+				e |= 1 << uint(q)
+			}
+		}
+		d := make([]bool, nChecks)
+		for i := 0; i < nChecks; i++ {
+			d[i] = (e>>uint(i)&1 != e>>uint(i+1)&1)
+		}
+		if uf.Decode(d) != e&1 {
+			fails++
+		}
+	}
+	rate := float64(fails) / float64(shots)
+	if rate > p/2 {
+		t.Fatalf("union-find logical rate %.4f not below physical %.2f", rate, p)
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	bad := &Graph{NumNodes: 2, Edges: []Edge{{U: 0, V: 5}}}
+	if bad.Validate() == nil {
+		t.Fatal("expected validation error")
+	}
+	bad2 := &Graph{NumNodes: 2, Edges: []Edge{{U: -2, V: 0}}}
+	if bad2.Validate() == nil {
+		t.Fatal("expected validation error")
+	}
+	good := &Graph{NumNodes: 2, Edges: []Edge{{U: 0, V: Boundary}, {U: 0, V: 1}}}
+	if good.Validate() != nil {
+		t.Fatal("unexpected validation error")
+	}
+}
+
+func TestLookupPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewLookup(65, nil)
+}

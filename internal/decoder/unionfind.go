@@ -1,0 +1,317 @@
+package decoder
+
+import "fmt"
+
+// Boundary is the virtual node index representing the open boundary of a
+// matching graph. Defect chains may terminate on it at the cost of the
+// edge's weight.
+const Boundary = -1
+
+// Edge is one error mechanism in a matching graph: it connects two detector
+// nodes (or one node and the Boundary) and, when included in a correction,
+// flips the logical observables in ObsMask.
+type Edge struct {
+	U, V    int
+	ObsMask uint64
+}
+
+// Graph is a space–time matching graph: nodes are detectors, edges are
+// single error mechanisms.
+type Graph struct {
+	NumNodes int
+	Edges    []Edge
+}
+
+// Validate checks edge endpoints.
+func (g *Graph) Validate() error {
+	for i, e := range g.Edges {
+		if e.U < 0 || e.U >= g.NumNodes {
+			return fmt.Errorf("decoder: edge %d has bad endpoint U=%d", i, e.U)
+		}
+		if e.V != Boundary && (e.V < 0 || e.V >= g.NumNodes) {
+			return fmt.Errorf("decoder: edge %d has bad endpoint V=%d", i, e.V)
+		}
+	}
+	return nil
+}
+
+// UnionFind is the Delfosse–Nickerson union–find decoder over a matching
+// graph. It achieves near-matching accuracy on surface-code graphs at
+// almost-linear cost, which is what lets the Fig. 6/7 experiments run
+// Monte Carlo at distance 13+.
+//
+// The decoder is reusable: Decode may be called repeatedly with different
+// defect patterns.
+type UnionFind struct {
+	g *Graph
+	// adjacency: per node, incident edge indices (boundary edges included on
+	// their real endpoint)
+	adj [][]int
+
+	// per-Decode state, reset each call
+	parent   []int
+	size     []int
+	parity   []int  // defect count mod 2 per cluster root
+	boundary []bool // cluster touches the boundary
+	growth   []int  // per-edge growth 0..2
+	onTree   []bool // edge fully grown
+	// edgeList[root] holds the indices of edges incident to the cluster;
+	// merged on union so growth never rescans the whole graph.
+	edgeList [][]int
+}
+
+// NewUnionFind builds a decoder for the graph.
+func NewUnionFind(g *Graph) *UnionFind {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	u := &UnionFind{g: g}
+	u.adj = make([][]int, g.NumNodes)
+	for i, e := range g.Edges {
+		u.adj[e.U] = append(u.adj[e.U], i)
+		if e.V != Boundary {
+			u.adj[e.V] = append(u.adj[e.V], i)
+		}
+	}
+	u.parent = make([]int, g.NumNodes)
+	u.size = make([]int, g.NumNodes)
+	u.parity = make([]int, g.NumNodes)
+	u.boundary = make([]bool, g.NumNodes)
+	u.growth = make([]int, len(g.Edges))
+	u.onTree = make([]bool, len(g.Edges))
+	u.edgeList = make([][]int, g.NumNodes)
+	return u
+}
+
+func (u *UnionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+// union merges the clusters of a and b, returning the new root.
+func (u *UnionFind) union(a, b int) int {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return ra
+	}
+	if u.size[ra] < u.size[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.parity[ra] = (u.parity[ra] + u.parity[rb]) % 2
+	u.boundary[ra] = u.boundary[ra] || u.boundary[rb]
+	u.edgeList[ra] = append(u.edgeList[ra], u.edgeList[rb]...)
+	u.edgeList[rb] = nil
+	return ra
+}
+
+// Decode takes the defect pattern (one bool per node) and returns the
+// predicted logical observable flips of the minimum-ish-weight correction.
+func (u *UnionFind) Decode(defects []bool) uint64 {
+	if len(defects) != u.g.NumNodes {
+		panic("decoder: defect vector length mismatch")
+	}
+	// reset state
+	for i := 0; i < u.g.NumNodes; i++ {
+		u.parent[i] = i
+		u.size[i] = 1
+		u.boundary[i] = false
+		if defects[i] {
+			u.parity[i] = 1
+		} else {
+			u.parity[i] = 0
+		}
+		u.edgeList[i] = append(u.edgeList[i][:0], u.adj[i]...)
+	}
+	for i := range u.growth {
+		u.growth[i] = 0
+		u.onTree[i] = false
+	}
+
+	// Active clusters: roots with odd parity and no boundary contact.
+	active := []int{}
+	for i, d := range defects {
+		if d {
+			active = append(active, i)
+		}
+	}
+
+	// Growth loop: each iteration grows every boundary edge of every odd,
+	// boundary-free cluster by one half-step; fully-grown edges merge
+	// clusters.
+	for {
+		odd := odd(u, active)
+		if len(odd) == 0 {
+			break
+		}
+		progress := false
+		for _, root := range odd {
+			root = u.find(root) // may have been merged earlier this round
+			// Grow the cluster's incident edges, compacting out edges that
+			// are already fully grown.
+			list := u.edgeList[root]
+			kept := list[:0]
+			for _, ei := range list {
+				if u.growth[ei] >= 2 {
+					continue
+				}
+				u.growth[ei]++
+				progress = true
+				if u.growth[ei] == 2 {
+					e := u.g.Edges[ei]
+					u.onTree[ei] = true
+					if e.V == Boundary {
+						r := u.find(e.U)
+						u.boundary[r] = true
+					} else {
+						newRoot := u.union(e.U, e.V)
+						if newRoot != root {
+							// The cluster was absorbed into a larger one;
+							// its remaining edges were already appended to
+							// the new root's list by union.
+							root = newRoot
+						}
+					}
+					continue
+				}
+				kept = append(kept, ei)
+			}
+			if u.find(root) == root && len(u.edgeList[root]) >= len(list) {
+				// Only rewrite if the list slot still belongs to this root.
+				_ = kept
+			}
+		}
+		if !progress {
+			// An odd cluster has exhausted its neighborhood without reaching
+			// the boundary or another defect (disconnected graph). Stop;
+			// the stranded defect surfaces as a decoding failure in peel.
+			break
+		}
+		// Recompute active roots.
+		seen := map[int]bool{}
+		next := active[:0]
+		for _, a := range active {
+			r := u.find(a)
+			if !seen[r] {
+				seen[r] = true
+				next = append(next, r)
+			}
+		}
+		active = next
+	}
+
+	return u.peel(defects)
+}
+
+// odd returns the roots among active clusters that still need growing.
+func odd(u *UnionFind, active []int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, a := range active {
+		r := u.find(a)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		if u.parity[r] == 1 && !u.boundary[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// peel extracts a correction from the grown cluster forests and returns the
+// XOR of the observable masks of the chosen edges.
+func (u *UnionFind) peel(defects []bool) uint64 {
+	n := u.g.NumNodes
+	def := make([]bool, n)
+	copy(def, defects)
+
+	visited := make([]bool, n)
+	parentEdge := make([]int, n)
+	order := make([]int, 0, n)
+
+	// Build BFS forests over fully-grown edges. Roots are nodes adjacent to
+	// grown boundary edges (so defects can drain into the boundary), then
+	// arbitrary nodes for the rest.
+	queue := []int{}
+	boundaryEdge := make([]int, n)
+	for i := range boundaryEdge {
+		boundaryEdge[i] = -1
+		parentEdge[i] = -1
+	}
+	for ei, e := range u.g.Edges {
+		if u.onTree[ei] && e.V == Boundary && !visited[e.U] {
+			visited[e.U] = true
+			boundaryEdge[e.U] = ei
+			queue = append(queue, e.U)
+		}
+	}
+	bfs := func() {
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			for _, ei := range u.adj[v] {
+				if !u.onTree[ei] {
+					continue
+				}
+				e := u.g.Edges[ei]
+				var w int
+				switch {
+				case e.V == Boundary:
+					continue
+				case e.U == v:
+					w = e.V
+				default:
+					w = e.U
+				}
+				if !visited[w] {
+					visited[w] = true
+					parentEdge[w] = ei
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	bfs() // drain the boundary-rooted trees first
+	for start := 0; start < n; start++ {
+		if !visited[start] {
+			visited[start] = true
+			queue = append(queue, start)
+			bfs()
+		}
+	}
+
+	// Peel in reverse BFS order: leaves first. A defect at a node is pushed
+	// along its parent edge (flipping the correction) onto its parent; roots
+	// with boundary edges drain into the boundary.
+	var obs uint64
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if !def[v] {
+			continue
+		}
+		if pe := parentEdge[v]; pe >= 0 {
+			e := u.g.Edges[pe]
+			obs ^= e.ObsMask
+			other := e.U
+			if other == v {
+				other = e.V
+			}
+			def[v] = false
+			def[other] = !def[other]
+		} else if be := boundaryEdge[v]; be >= 0 {
+			obs ^= u.g.Edges[be].ObsMask
+			def[v] = false
+		}
+		// A defect stuck at a root with no boundary edge means the cluster
+		// had odd parity without boundary contact, which the growth phase
+		// prevents; leave it (decoder failure surfaces as a logical error).
+	}
+	return obs
+}

@@ -1,0 +1,407 @@
+// Package densmat implements an n-qubit density-matrix simulator.
+//
+// This is the "detailed simulation" tier of the HetArch simulation hierarchy:
+// standard cells (a handful of devices, at most ~8 qubits) are characterized
+// exactly at this level, and the extracted fidelities and durations are then
+// abstracted into quantum channels so that module- and system-level analyses
+// never pay the exponential cost again.
+//
+// States are dense 2^n × 2^n complex matrices. Gates are applied as
+// ρ → UρU† via index arithmetic on the targeted qubits only (no full-size
+// Kronecker products are ever materialized), and noise is applied as Kraus
+// maps ρ → Σᵢ KᵢρKᵢ†.
+//
+// Qubit i occupies bit position n−1−i, so qubit 0 is the leftmost tensor
+// factor: basis index b encodes |q₀ q₁ … q_{n−1}⟩.
+package densmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"hetarch/internal/linalg"
+)
+
+// DensityMatrix is the state ρ of an n-qubit register.
+type DensityMatrix struct {
+	n   int
+	dim int
+	mat *linalg.Matrix
+}
+
+// New returns the n-qubit state |0…0⟩⟨0…0|.
+func New(n int) *DensityMatrix {
+	if n <= 0 || n > 14 {
+		panic(fmt.Sprintf("densmat: unsupported qubit count %d", n))
+	}
+	dim := 1 << n
+	m := linalg.New(dim, dim)
+	m.Set(0, 0, 1)
+	return &DensityMatrix{n: n, dim: dim, mat: m}
+}
+
+// FromPure returns |ψ⟩⟨ψ| for the given 2^n amplitude vector. The vector is
+// normalized defensively.
+func FromPure(psi []complex128) *DensityMatrix {
+	n := log2(len(psi))
+	var norm float64
+	for _, a := range psi {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if norm == 0 {
+		panic("densmat: zero state vector")
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	dim := len(psi)
+	m := linalg.New(dim, dim)
+	for i := 0; i < dim; i++ {
+		for j := 0; j < dim; j++ {
+			m.Set(i, j, psi[i]*scale*cmplx.Conj(psi[j]*scale))
+		}
+	}
+	return &DensityMatrix{n: n, dim: dim, mat: m}
+}
+
+// FromMatrix wraps an existing 2^n × 2^n matrix as a density matrix. The
+// matrix is used directly (not copied); callers hand over ownership.
+func FromMatrix(m *linalg.Matrix) *DensityMatrix {
+	if !m.IsSquare() {
+		panic("densmat: FromMatrix needs a square matrix")
+	}
+	n := log2(m.Rows)
+	return &DensityMatrix{n: n, dim: m.Rows, mat: m}
+}
+
+// NumQubits returns the register width n.
+func (d *DensityMatrix) NumQubits() int { return d.n }
+
+// Dim returns 2^n.
+func (d *DensityMatrix) Dim() int { return d.dim }
+
+// Matrix exposes the underlying matrix (shared, not a copy).
+func (d *DensityMatrix) Matrix() *linalg.Matrix { return d.mat }
+
+// Clone returns a deep copy.
+func (d *DensityMatrix) Clone() *DensityMatrix {
+	return &DensityMatrix{n: d.n, dim: d.dim, mat: d.mat.Clone()}
+}
+
+// Trace returns Tr(ρ); 1 for any physical state.
+func (d *DensityMatrix) Trace() float64 { return real(linalg.Trace(d.mat)) }
+
+// Purity returns Tr(ρ²) ∈ (0, 1].
+func (d *DensityMatrix) Purity() float64 {
+	var s float64
+	// Tr(ρ²) = Σ_ij ρ_ij ρ_ji = Σ_ij |ρ_ij|² for Hermitian ρ.
+	for _, v := range d.mat.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// bitpos maps qubit index to its bit position within a basis index.
+func (d *DensityMatrix) bitpos(q int) uint {
+	if q < 0 || q >= d.n {
+		panic(fmt.Sprintf("densmat: qubit %d out of range [0,%d)", q, d.n))
+	}
+	return uint(d.n - 1 - q)
+}
+
+// embedIndex builds the full basis index from a "rest" index r (zero at all
+// target bit positions) and a local index a whose bit k−1−m is the value of
+// qubit targets[m].
+func embedIndex(r int, a int, positions []uint) int {
+	idx := r
+	k := len(positions)
+	for m := 0; m < k; m++ {
+		if a>>(uint(k-1-m))&1 == 1 {
+			idx |= 1 << positions[m]
+		}
+	}
+	return idx
+}
+
+// restIndices enumerates every basis index with zeros at all given bit
+// positions.
+func (d *DensityMatrix) restIndices(positions []uint) []int {
+	mask := 0
+	for _, p := range positions {
+		mask |= 1 << p
+	}
+	out := make([]int, 0, d.dim>>len(positions))
+	for r := 0; r < d.dim; r++ {
+		if r&mask == 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// leftMul computes A_embedded · ρ where the 2^k × 2^k matrix a acts on the
+// listed target qubits, returning a fresh matrix.
+func (d *DensityMatrix) leftMul(a *linalg.Matrix, targets []int) *linalg.Matrix {
+	k := len(targets)
+	sub := 1 << k
+	if a.Rows != sub || a.Cols != sub {
+		panic(fmt.Sprintf("densmat: operator is %dx%d but %d targets given", a.Rows, a.Cols, k))
+	}
+	positions := make([]uint, k)
+	for i, q := range targets {
+		positions[i] = d.bitpos(q)
+	}
+	rests := d.restIndices(positions)
+	out := linalg.New(d.dim, d.dim)
+	rows := make([]int, sub)
+	for _, r := range rests {
+		for ai := 0; ai < sub; ai++ {
+			rows[ai] = embedIndex(r, ai, positions)
+		}
+		for c := 0; c < d.dim; c++ {
+			for ai := 0; ai < sub; ai++ {
+				var s complex128
+				for bi := 0; bi < sub; bi++ {
+					av := a.At(ai, bi)
+					if av == 0 {
+						continue
+					}
+					s += av * d.mat.At(rows[bi], c)
+				}
+				out.Data[rows[ai]*d.dim+c] = s
+			}
+		}
+	}
+	return out
+}
+
+// rightMulDagger computes m · A†_embedded for the embedded operator a.
+func (d *DensityMatrix) rightMulDagger(m *linalg.Matrix, a *linalg.Matrix, targets []int) *linalg.Matrix {
+	k := len(targets)
+	sub := 1 << k
+	positions := make([]uint, k)
+	for i, q := range targets {
+		positions[i] = d.bitpos(q)
+	}
+	rests := d.restIndices(positions)
+	out := linalg.New(d.dim, d.dim)
+	cols := make([]int, sub)
+	for _, r := range rests {
+		for ai := 0; ai < sub; ai++ {
+			cols[ai] = embedIndex(r, ai, positions)
+		}
+		for row := 0; row < d.dim; row++ {
+			base := row * d.dim
+			for bi := 0; bi < sub; bi++ {
+				var s complex128
+				for ai := 0; ai < sub; ai++ {
+					// (A†)[ai][bi] = conj(A[bi][ai])
+					av := a.At(bi, ai)
+					if av == 0 {
+						continue
+					}
+					s += m.Data[base+cols[ai]] * cmplx.Conj(av)
+				}
+				out.Data[base+cols[bi]] = s
+			}
+		}
+	}
+	return out
+}
+
+// ApplyUnitary applies ρ → UρU† with u acting on the listed qubits, in the
+// order given (targets[0] is the most significant factor of u).
+func (d *DensityMatrix) ApplyUnitary(u *linalg.Matrix, targets ...int) {
+	left := d.leftMul(u, targets)
+	d.mat = d.rightMulDagger(left, u, targets)
+}
+
+// ApplyKraus applies the channel ρ → Σᵢ KᵢρKᵢ† on the listed qubits.
+func (d *DensityMatrix) ApplyKraus(ops []*linalg.Matrix, targets ...int) {
+	acc := linalg.New(d.dim, d.dim)
+	for _, k := range ops {
+		term := d.rightMulDagger(d.leftMul(k, targets), k, targets)
+		linalg.AddInPlace(acc, term)
+	}
+	d.mat = acc
+}
+
+// Prob returns the probability of measuring qubit q in state outcome∈{0,1}.
+func (d *DensityMatrix) Prob(q, outcome int) float64 {
+	pos := d.bitpos(q)
+	var p float64
+	for i := 0; i < d.dim; i++ {
+		if int(i>>pos)&1 == outcome {
+			p += real(d.mat.At(i, i))
+		}
+	}
+	return p
+}
+
+// Measure performs a projective Z-basis measurement of qubit q, collapsing
+// the state, and returns the outcome.
+func (d *DensityMatrix) Measure(q int, rng *rand.Rand) int {
+	p0 := d.Prob(q, 0)
+	outcome := 1
+	if rng.Float64() < p0 {
+		outcome = 0
+	}
+	d.Project(q, outcome)
+	return outcome
+}
+
+// Project collapses qubit q onto the given Z-basis outcome and renormalizes.
+// It panics if the outcome has (numerically) zero probability.
+func (d *DensityMatrix) Project(q, outcome int) {
+	p := d.Prob(q, outcome)
+	if p < 1e-15 {
+		panic(fmt.Sprintf("densmat: projecting qubit %d onto zero-probability outcome %d", q, outcome))
+	}
+	pos := d.bitpos(q)
+	inv := complex(1/p, 0)
+	for i := 0; i < d.dim; i++ {
+		iMatch := int(i>>pos)&1 == outcome
+		for j := 0; j < d.dim; j++ {
+			jMatch := int(j>>pos)&1 == outcome
+			if iMatch && jMatch {
+				d.mat.Set(i, j, d.mat.At(i, j)*inv)
+			} else {
+				d.mat.Set(i, j, 0)
+			}
+		}
+	}
+}
+
+// Reset projects qubit q to |0⟩ non-unitarily (measure-and-flip semantics,
+// averaged): ρ → P₀ρP₀ + X P₁ρP₁ X.
+func (d *DensityMatrix) Reset(q int) {
+	pos := d.bitpos(q)
+	out := linalg.New(d.dim, d.dim)
+	for i := 0; i < d.dim; i++ {
+		for j := 0; j < d.dim; j++ {
+			v := d.mat.At(i, j)
+			if v == 0 {
+				continue
+			}
+			ib := int(i>>pos) & 1
+			jb := int(j>>pos) & 1
+			if ib != jb {
+				continue // cross terms vanish
+			}
+			// map both indices to the bit-cleared version
+			ti := i &^ (1 << pos)
+			tj := j &^ (1 << pos)
+			out.Set(ti, tj, out.At(ti, tj)+v)
+		}
+	}
+	d.mat = out
+}
+
+// PartialTrace traces out every qubit not in keep and returns the reduced
+// state over the kept qubits, in the order given.
+func (d *DensityMatrix) PartialTrace(keep ...int) *DensityMatrix {
+	k := len(keep)
+	if k == 0 || k > d.n {
+		panic("densmat: PartialTrace needs 1..n qubits to keep")
+	}
+	keepPos := make([]uint, k)
+	seen := map[int]bool{}
+	for i, q := range keep {
+		if seen[q] {
+			panic("densmat: duplicate qubit in PartialTrace")
+		}
+		seen[q] = true
+		keepPos[i] = d.bitpos(q)
+	}
+	tracedPos := []uint{}
+	for q := 0; q < d.n; q++ {
+		if !seen[q] {
+			tracedPos = append(tracedPos, d.bitpos(q))
+		}
+	}
+	outDim := 1 << k
+	out := linalg.New(outDim, outDim)
+	tCount := 1 << len(tracedPos)
+	for a := 0; a < outDim; a++ {
+		for b := 0; b < outDim; b++ {
+			var s complex128
+			for t := 0; t < tCount; t++ {
+				i := composeIndex(a, keepPos, t, tracedPos)
+				j := composeIndex(b, keepPos, t, tracedPos)
+				s += d.mat.At(i, j)
+			}
+			out.Set(a, b, s)
+		}
+	}
+	return &DensityMatrix{n: k, dim: outDim, mat: out}
+}
+
+// composeIndex builds a full basis index from local indices over two
+// position sets. Local bit k−1−m of each local index corresponds to
+// positions[m], matching embedIndex.
+func composeIndex(a int, aPos []uint, t int, tPos []uint) int {
+	idx := 0
+	ka := len(aPos)
+	for m := 0; m < ka; m++ {
+		if a>>(uint(ka-1-m))&1 == 1 {
+			idx |= 1 << aPos[m]
+		}
+	}
+	kt := len(tPos)
+	for m := 0; m < kt; m++ {
+		if t>>(uint(kt-1-m))&1 == 1 {
+			idx |= 1 << tPos[m]
+		}
+	}
+	return idx
+}
+
+// FidelityPure returns ⟨ψ|ρ|ψ⟩, the fidelity of ρ with a pure target state.
+func (d *DensityMatrix) FidelityPure(psi []complex128) float64 {
+	if len(psi) != d.dim {
+		panic("densmat: FidelityPure dimension mismatch")
+	}
+	v := linalg.MulVec(d.mat, psi)
+	var s complex128
+	for i, a := range psi {
+		s += cmplx.Conj(a) * v[i]
+	}
+	return real(s)
+}
+
+// ExpectationPauli returns ⟨P⟩ = Tr(Pρ) for a Pauli string such as "XIZ"
+// (one letter per qubit, qubit 0 first).
+func (d *DensityMatrix) ExpectationPauli(p string) float64 {
+	if len(p) != d.n {
+		panic("densmat: Pauli string length must equal qubit count")
+	}
+	op := linalg.Identity(1)
+	for _, ch := range p {
+		var m *linalg.Matrix
+		switch ch {
+		case 'I':
+			m = linalg.I2()
+		case 'X':
+			m = linalg.PauliX()
+		case 'Y':
+			m = linalg.PauliY()
+		case 'Z':
+			m = linalg.PauliZ()
+		default:
+			panic("densmat: invalid Pauli letter " + string(ch))
+		}
+		op = linalg.Kron(op, m)
+	}
+	return real(linalg.Trace(linalg.Mul(op, d.mat)))
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	if 1<<k != n {
+		panic(fmt.Sprintf("densmat: dimension %d is not a power of two", n))
+	}
+	return k
+}

@@ -1,0 +1,158 @@
+package device
+
+// The near-term superconducting device catalog of the paper's Table 1.
+// Values are the best observed properties reported there; they have not been
+// demonstrated at scale.
+
+// FixedFrequencyQubit returns the planar fixed-frequency transmon entry:
+// the primary compute device.
+func FixedFrequencyQubit() *Device {
+	return &Device{
+		Name: "fixed-frequency-qubit",
+		Kind: Compute,
+		T1:   300, T2: 550,
+		ReadoutTime: 1, HasReadout: true,
+		Gates: []GateSpec{
+			{Name: "1Q", Qubits: 1, Time: 0.1, Error: 1e-3},
+			{Name: "2Q", Qubits: 2, Time: 0.1, Error: 1e-3},
+		},
+		Connectivity: 4,
+		Capacity:     1,
+		ControlLines: []string{"charge", "readout"},
+		Footprint:    Footprint{Width: 2, Height: 2},
+		Notes:        "e.g. transmon",
+	}
+}
+
+// FluxTunableQubit returns the flux-tunable qubit entry (e.g. fluxonium):
+// higher T1 at the cost of an extra flux-bias line.
+func FluxTunableQubit() *Device {
+	return &Device{
+		Name: "flux-tunable-qubit",
+		Kind: Compute,
+		T1:   800, T2: 200,
+		ReadoutTime: 1, HasReadout: true,
+		Gates: []GateSpec{
+			{Name: "1Q", Qubits: 1, Time: 0.1, Error: 1e-3},
+			{Name: "2Q", Qubits: 2, Time: 0.1, Error: 1e-3},
+		},
+		Connectivity: 4,
+		Capacity:     1,
+		ControlLines: []string{"charge", "flux", "readout"},
+		Footprint:    Footprint{Width: 2, Height: 2},
+		Notes:        "e.g. fluxonium",
+	}
+}
+
+// Memory3D returns the ultra-high-coherence 3D quantum memory entry.
+func Memory3D() *Device {
+	return &Device{
+		Name: "3d-quantum-memory",
+		Kind: Storage,
+		T1:   25000, T2: 30000,
+		Gates: []GateSpec{
+			{Name: "SWAP", Qubits: 2, Time: 1, Error: 1e-2},
+		},
+		Connectivity: 1,
+		Capacity:     1,
+		Footprint:    Footprint{Width: 50, Height: 0.5, Depth: 1},
+		Notes:        "requires 2D/3D integration",
+	}
+}
+
+// MultimodeResonator3D returns the 10-mode 3D multimode resonator entry.
+func MultimodeResonator3D() *Device {
+	return &Device{
+		Name: "3d-multimode-resonator",
+		Kind: Storage,
+		T1:   2000, T2: 2500,
+		Gates: []GateSpec{
+			{Name: "SWAP", Qubits: 2, Time: 0.4, Error: 1e-2},
+		},
+		Connectivity: 1,
+		Capacity:     10,
+		Footprint:    Footprint{Width: 100, Height: 100, Depth: 10},
+		Notes:        "requires 2D/3D integration",
+	}
+}
+
+// FutureOnChipResonator returns the projected on-chip multimode resonator
+// entry (no demonstration yet; see the paper's Section 3.1 discussion).
+func FutureOnChipResonator() *Device {
+	return &Device{
+		Name: "future-onchip-multimode-resonator",
+		Kind: Storage,
+		T1:   1000, T2: 1000,
+		Gates: []GateSpec{
+			{Name: "SWAP", Qubits: 2, Time: 0.1, Error: 1e-2},
+		},
+		Connectivity: 1,
+		Capacity:     10,
+		Footprint:    Footprint{Width: 5, Height: 5},
+		Notes:        "no demonstration",
+	}
+}
+
+// Catalog returns all Table-1 devices in paper order.
+func Catalog() []*Device {
+	return []*Device{
+		FixedFrequencyQubit(),
+		FluxTunableQubit(),
+		Memory3D(),
+		MultimodeResonator3D(),
+		FutureOnChipResonator(),
+	}
+}
+
+// Experiment-section idealizations (Section 4): compute devices with
+// coherence-limited gates, configurable lifetimes, two-qubit gates of 100 ns,
+// single-qubit gates of 40 ns and 1 µs readout.
+
+// StandardCompute returns the idealized compute device with T1 = T2 = tc µs.
+func StandardCompute(tcMicros float64) *Device {
+	return &Device{
+		Name: "std-compute",
+		Kind: Compute,
+		T1:   tcMicros, T2: tcMicros,
+		ReadoutTime: 1, HasReadout: true,
+		Gates: []GateSpec{
+			{Name: "1Q", Qubits: 1, Time: 0.04, Error: 0},
+			{Name: "2Q", Qubits: 2, Time: 0.1, Error: 0},
+			{Name: "SWAP", Qubits: 2, Time: 0.1, Error: 0},
+		},
+		Connectivity: 4,
+		Capacity:     1,
+		ControlLines: []string{"charge", "readout"},
+		Footprint:    Footprint{Width: 2, Height: 2},
+		Notes:        "Section-4 idealized compute device (coherence-limited gates)",
+	}
+}
+
+// StandardComputeNoReadout returns the idealized compute device without
+// readout circuitry (per DR4, data-path devices avoid readout couplings).
+func StandardComputeNoReadout(tcMicros float64) *Device {
+	d := StandardCompute(tcMicros)
+	d.Name = "std-compute-noro"
+	d.HasReadout = false
+	d.ReadoutTime = 0
+	d.ControlLines = []string{"charge"}
+	return d
+}
+
+// StandardStorage returns the idealized storage device with T1 = T2 = ts µs
+// and the given number of modes, accessed through a 100 ns SWAP.
+func StandardStorage(tsMicros float64, modes int) *Device {
+	return &Device{
+		Name: "std-storage",
+		Kind: Storage,
+		T1:   tsMicros, T2: tsMicros,
+		Gates: []GateSpec{
+			{Name: "SWAP", Qubits: 2, Time: 0.1, Error: 0},
+		},
+		Connectivity: 1,
+		Capacity:     modes,
+		ControlLines: []string{"drive"},
+		Footprint:    Footprint{Width: 5, Height: 5},
+		Notes:        "Section-4 idealized storage device",
+	}
+}

@@ -1,0 +1,120 @@
+// Package device models the fundamental physical elements of superconducting
+// quantum systems — the Device layer of the HetArch hierarchy. It encodes the
+// near-term device catalog of the paper's Table 1 and provides the idealized
+// compute/storage parameter sets used throughout the evaluation section.
+//
+// All times are in microseconds, all footprints in millimeters.
+package device
+
+import "fmt"
+
+// Kind classifies a device by its architectural function.
+type Kind int
+
+const (
+	// Compute devices have high connectivity and fast, high-fidelity gates
+	// with single-qubit capacity (e.g. transmons).
+	Compute Kind = iota
+	// Storage devices have low connectivity, long coherence and multi-qubit
+	// capacity (e.g. multimode resonators).
+	Storage
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == Compute {
+		return "compute"
+	}
+	return "storage"
+}
+
+// GateSpec describes one native gate offered by a device.
+type GateSpec struct {
+	Name   string  // e.g. "1Q", "2Q", "SWAP"
+	Qubits int     // arity
+	Time   float64 // µs
+	Error  float64 // average gate error
+}
+
+// Footprint is a physical bounding box in millimeters. Planar devices have
+// Depth 0.
+type Footprint struct {
+	Width, Height, Depth float64
+}
+
+// Area returns the 2D chip area (mm²).
+func (f Footprint) Area() float64 { return f.Width * f.Height }
+
+// Device is one entry of the device catalog.
+type Device struct {
+	Name string
+	Kind Kind
+
+	T1, T2 float64 // coherence times, µs
+
+	ReadoutTime float64 // µs; 0 means the device has no direct readout
+	HasReadout  bool
+
+	Gates []GateSpec
+
+	// Connectivity is the maximum number of couplings the device supports.
+	Connectivity int
+
+	// Capacity is the number of qubits the device can hold (modes for
+	// resonators, 1 for planar qubits).
+	Capacity int
+
+	// ControlLines lists the I/O required to operate the device (control
+	// overhead in the paper's terms).
+	ControlLines []string
+
+	Footprint Footprint
+	Notes     string
+}
+
+// ControlOverhead returns the number of control lines per device.
+func (d *Device) ControlOverhead() int { return len(d.ControlLines) }
+
+// Gate looks up a named gate spec.
+func (d *Device) Gate(name string) (GateSpec, error) {
+	for _, g := range d.Gates {
+		if g.Name == name {
+			return g, nil
+		}
+	}
+	return GateSpec{}, fmt.Errorf("device %s has no gate %q", d.Name, name)
+}
+
+// Validate checks physical consistency of the parameters.
+func (d *Device) Validate() error {
+	if d.T1 <= 0 || d.T2 <= 0 {
+		return fmt.Errorf("device %s: non-positive coherence times", d.Name)
+	}
+	if d.T2 > 2*d.T1 {
+		return fmt.Errorf("device %s: T2 = %g exceeds physical limit 2·T1 = %g", d.Name, d.T2, 2*d.T1)
+	}
+	if d.Capacity < 1 {
+		return fmt.Errorf("device %s: capacity %d < 1", d.Name, d.Capacity)
+	}
+	if d.Connectivity < 1 {
+		return fmt.Errorf("device %s: connectivity %d < 1", d.Name, d.Connectivity)
+	}
+	if d.HasReadout && d.ReadoutTime <= 0 {
+		return fmt.Errorf("device %s: readout declared but no readout time", d.Name)
+	}
+	for _, g := range d.Gates {
+		if g.Time <= 0 || g.Error < 0 || g.Error > 1 {
+			return fmt.Errorf("device %s: gate %s has invalid parameters", d.Name, g.Name)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy that can be mutated independently (e.g. for
+// design-space sweeps over coherence times).
+func (d *Device) Clone() *Device {
+	c := *d
+	c.Gates = append([]GateSpec(nil), d.Gates...)
+	c.ControlLines = append([]string(nil), d.ControlLines...)
+	return &c
+}

@@ -1,0 +1,123 @@
+package device
+
+import "testing"
+
+func TestCatalogValidates(t *testing.T) {
+	for _, d := range Catalog() {
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestCatalogMatchesTable1(t *testing.T) {
+	cases := []struct {
+		dev          *Device
+		t1, t2       float64
+		conn, cap    int
+		hasReadout   bool
+		gate         string
+		gateTime     float64
+		gateErr      float64
+		controlLines int
+	}{
+		{FixedFrequencyQubit(), 300, 550, 4, 1, true, "2Q", 0.1, 1e-3, 2},
+		{FluxTunableQubit(), 800, 200, 4, 1, true, "2Q", 0.1, 1e-3, 3},
+		{Memory3D(), 25000, 30000, 1, 1, false, "SWAP", 1, 1e-2, 0},
+		{MultimodeResonator3D(), 2000, 2500, 1, 10, false, "SWAP", 0.4, 1e-2, 0},
+		{FutureOnChipResonator(), 1000, 1000, 1, 10, false, "SWAP", 0.1, 1e-2, 0},
+	}
+	for _, c := range cases {
+		d := c.dev
+		if d.T1 != c.t1 || d.T2 != c.t2 {
+			t.Errorf("%s: T1/T2 = %g/%g, want %g/%g", d.Name, d.T1, d.T2, c.t1, c.t2)
+		}
+		if d.Connectivity != c.conn || d.Capacity != c.cap {
+			t.Errorf("%s: conn/cap wrong", d.Name)
+		}
+		if d.HasReadout != c.hasReadout {
+			t.Errorf("%s: readout wrong", d.Name)
+		}
+		g, err := d.Gate(c.gate)
+		if err != nil {
+			t.Errorf("%s: %v", d.Name, err)
+			continue
+		}
+		if g.Time != c.gateTime || g.Error != c.gateErr {
+			t.Errorf("%s: gate %s = (%g, %g), want (%g, %g)", d.Name, c.gate, g.Time, g.Error, c.gateTime, c.gateErr)
+		}
+		if d.ControlOverhead() != c.controlLines {
+			t.Errorf("%s: control overhead %d, want %d", d.Name, d.ControlOverhead(), c.controlLines)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Compute.String() != "compute" || Storage.String() != "storage" {
+		t.Fatal("Kind.String wrong")
+	}
+}
+
+func TestGateLookupError(t *testing.T) {
+	if _, err := FixedFrequencyQubit().Gate("TOFFOLI"); err == nil {
+		t.Fatal("expected missing-gate error")
+	}
+}
+
+func TestValidateCatchesUnphysicalT2(t *testing.T) {
+	d := FixedFrequencyQubit()
+	d.T2 = 3 * d.T1
+	if d.Validate() == nil {
+		t.Fatal("T2 > 2T1 should fail validation")
+	}
+}
+
+func TestValidateCatchesBadGate(t *testing.T) {
+	d := FixedFrequencyQubit()
+	d.Gates[0].Error = 1.5
+	if d.Validate() == nil {
+		t.Fatal("gate error > 1 should fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := FixedFrequencyQubit()
+	c := d.Clone()
+	c.Gates[0].Error = 0.5
+	c.ControlLines[0] = "zzz"
+	if d.Gates[0].Error == 0.5 || d.ControlLines[0] == "zzz" {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestStandardDevices(t *testing.T) {
+	c := StandardCompute(500)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.T1 != 500 || c.T2 != 500 {
+		t.Fatal("StandardCompute coherence wrong")
+	}
+	g, _ := c.Gate("1Q")
+	if g.Time != 0.04 {
+		t.Fatal("1Q gate should be 40ns")
+	}
+	nr := StandardComputeNoReadout(500)
+	if nr.HasReadout || nr.ControlOverhead() != 1 {
+		t.Fatal("no-readout variant wrong")
+	}
+	s := StandardStorage(12500, 10)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Capacity != 10 || s.Kind != Storage {
+		t.Fatal("StandardStorage wrong")
+	}
+}
+
+func TestFootprintArea(t *testing.T) {
+	f := Footprint{Width: 2, Height: 3}
+	if f.Area() != 6 {
+		t.Fatal("area wrong")
+	}
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strconv"
+
+	"hetarch/internal/codetelep"
+)
+
+// ctPair returns a configured CT evaluation for two evaluation codes.
+func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64) float64 {
+	p := codetelep.DefaultParams(a.Code, b.Code, tsMillis, het)
+	p.NativeA, p.NativeB = a.Native, b.Native
+	p.Shots = shots
+	p.Seed = seed
+	r, err := codetelep.Evaluate(p)
+	if err != nil {
+		panic(err)
+	}
+	return r.LogicalErrorProbability
+}
+
+// Fig12 reproduces the code-teleportation sweep: CT-state logical error
+// probability vs storage lifetime for the paper's three code pairs, on the
+// heterogeneous architecture (EP generation 1000 kHz, target 99.5%).
+func Fig12(sc Scale, seed int64) *Table {
+	all := map[string]evalCode{}
+	for _, c := range evaluationCodes() {
+		all[c.Name] = c
+	}
+	pairs := [][2]evalCode{
+		{all["Surface-d3"], all["Reed-Muller"]},
+		{all["Surface-d3"], all["Surface-d4"]},
+		{all["TriColor-d5"], all["Surface-d4"]},
+	}
+	t := &Table{Title: "Fig 12: CT logical error probability vs Ts (heterogeneous)"}
+	for _, pr := range pairs {
+		t.Columns = append(t.Columns, pr[0].Name+"&"+pr[1].Name)
+	}
+	for _, ts := range []float64{1, 5, 10, 25, 50} {
+		row := Row{Label: "Ts=" + strconv.FormatFloat(ts, 'g', -1, 64) + "ms"}
+		for _, pr := range pairs {
+			row.Values = append(row.Values, ctPair(pr[0], pr[1], ts, true, sc.Shots, seed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table4 reproduces the all-pairs CT comparison at Ts = 50 ms: one row per
+// code pair with the heterogeneous and homogeneous logical error
+// probabilities and the reduction factor.
+func Table4(sc Scale, seed int64) *Table {
+	codes := evaluationCodes()
+	t := &Table{
+		Title:   "Table 4: CT logical error probability, het vs hom (Ts = 50 ms)",
+		Columns: []string{"het", "hom", "hom/het"},
+	}
+	for i := range codes {
+		for j := i + 1; j < len(codes); j++ {
+			het := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed)
+			hom := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed)
+			t.Rows = append(t.Rows, Row{
+				Label:  codes[i].Name + " & " + codes[j].Name,
+				Values: []float64{het, hom, hom / het},
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strconv"
+
+	"hetarch/internal/device"
+	"hetarch/internal/surface"
+)
+
+// DeviceStudy is the Section-5 extension experiment: instead of the
+// idealized Section-4 coherence knobs, the surface-code data qubits are
+// drawn from the real Table-1 compute catalog. The fluxonium's long T1 but
+// short T2, versus the transmon's balanced coherence, is exactly the kind
+// of intra-compute heterogeneity the paper's conclusion anticipates
+// ("variability within superconducting devices offers functionality more
+// like p-cells in classical systems").
+//
+// Four designs are compared at distance d: data and ancilla both transmon
+// (the homogeneous reference), fluxonium data with transmon ancilla,
+// transmon data with fluxonium ancilla, and both fluxonium.
+func DeviceStudy(sc Scale, seed int64) *Table {
+	d := 5
+	if sc.MaxDistance < d {
+		d = sc.MaxDistance
+	}
+	transmon := device.FixedFrequencyQubit()
+	fluxonium := device.FluxTunableQubit()
+
+	type combo struct {
+		name      string
+		data, anc *device.Device
+	}
+	combos := []combo{
+		{"transmon data + transmon anc", transmon, transmon},
+		{"fluxonium data + transmon anc", fluxonium, transmon},
+		{"transmon data + fluxonium anc", transmon, fluxonium},
+		{"fluxonium data + fluxonium anc", fluxonium, fluxonium},
+	}
+
+	t := &Table{
+		Title:   "Section-5 device study: surface code with Table-1 compute devices (d=" + strconv.Itoa(d) + ")",
+		Columns: []string{"perCycle"},
+	}
+	for _, c := range combos {
+		p := surface.DefaultParams(d)
+		p.TcdMicros = c.data.T1
+		p.TcdT2Micros = c.data.T2
+		p.TcaMicros = c.anc.T1
+		p.TcaT2Micros = c.anc.T2
+		g, err := c.data.Gate("2Q")
+		if err != nil {
+			panic(err)
+		}
+		p.P2 = g.Error
+		t.Rows = append(t.Rows, Row{
+			Label:  c.name,
+			Values: []float64{perCycleBothBases(p, sc.Shots, seed)},
+		})
+	}
+	return t
+}

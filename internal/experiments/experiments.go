@@ -1,0 +1,59 @@
+// Package experiments contains one runner per table and figure of the
+// HetArch paper's evaluation section. Each runner executes the relevant
+// modules and prints the same rows/series the paper reports, so the whole
+// evaluation can be regenerated from the command line (cmd/hetarch) or
+// benchmarked (bench_test.go).
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Scale controls the Monte Carlo effort of every runner. Full reproduces
+// paper-quality statistics; Quick is for tests and benchmarks.
+type Scale struct {
+	Shots          int     // stabilizer Monte Carlo shots per point
+	DistillHorizon float64 // µs of simulated time per distillation point
+	MaxDistance    int     // largest surface-code distance in sweeps
+}
+
+// Full returns publication-scale settings.
+func Full() Scale {
+	return Scale{Shots: 20000, DistillHorizon: 50000, MaxDistance: 13}
+}
+
+// Quick returns CI-scale settings.
+func Quick() Scale {
+	return Scale{Shots: 1500, DistillHorizon: 5000, MaxDistance: 5}
+}
+
+// Row is one printed result row: a label plus named numeric columns.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []Row
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	fmt.Fprintf(w, "%-28s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(w, "%14s", c)
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		fmt.Fprintf(w, "%-28s", r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(w, "%14.5g", v)
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strconv"
+
+	"hetarch/internal/surface"
+)
+
+// perCycleBothBases runs the memory experiment in both bases and returns
+// the combined per-cycle logical error rate (Z-sector plus X-sector).
+func perCycleBothBases(p surface.Params, shots int, seed int64) float64 {
+	total := 0.0
+	for _, basis := range []byte{'Z', 'X'} {
+		pp := p
+		pp.Basis = basis
+		e, err := surface.New(pp)
+		if err != nil {
+			panic(err)
+		}
+		total += e.Run(shots, seed).PerCycleErrorRate()
+	}
+	return total
+}
+
+// Fig6 reproduces the d=13 coherence sweep: logical error per cycle as the
+// data-qubit coherence T_CD (or the ancilla coherence T_CA) is scaled to
+// α·100 µs while the other stays at 100 µs, plus the homogeneous baseline
+// (α = 1). Quick scales may reduce the distance.
+func Fig6(sc Scale, seed int64) *Table {
+	d := sc.MaxDistance
+	alphas := []float64{1, 2, 3, 5, 7, 10}
+	t := &Table{
+		Title:   "Fig 6: logical error per cycle vs coherence scaling (d=" + strconv.Itoa(d) + ")",
+		Columns: []string{"alpha", "Tcd=a*100us", "Tca=a*100us"},
+	}
+	for _, a := range alphas {
+		pd := surface.DefaultParams(d)
+		pd.TcdMicros = 100 * a
+		pa := surface.DefaultParams(d)
+		pa.TcaMicros = 100 * a
+		t.Rows = append(t.Rows, Row{
+			Label: "alpha=" + strconv.FormatFloat(a, 'g', -1, 64),
+			Values: []float64{
+				a,
+				perCycleBothBases(pd, sc.Shots, seed),
+				perCycleBothBases(pa, sc.Shots, seed),
+			},
+		})
+	}
+	return t
+}
+
+// Fig7 reproduces the distance sweep: logical error per cycle for code
+// distances up to the scale's maximum, as a function of the ratio
+// T_CD/T_CA with T_CA fixed at 100 µs.
+func Fig7(sc Scale, seed int64) *Table {
+	ratios := []float64{1, 2, 3, 5, 8}
+	var distances []int
+	for d := 5; d <= sc.MaxDistance; d += 2 {
+		distances = append(distances, d)
+	}
+	if len(distances) == 0 {
+		distances = []int{3, 5}
+	}
+	t := &Table{Title: "Fig 7: logical error per cycle vs distance and Tcd/Tca"}
+	for _, r := range ratios {
+		t.Columns = append(t.Columns, "ratio="+strconv.FormatFloat(r, 'g', -1, 64))
+	}
+	for _, d := range distances {
+		row := Row{Label: "d=" + strconv.Itoa(d)}
+		for _, r := range ratios {
+			p := surface.DefaultParams(d)
+			p.TcdMicros = 100 * r
+			row.Values = append(row.Values, perCycleBothBases(p, sc.Shots, seed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}

@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Standard single- and two-qubit gate matrices used throughout the simulator.
+// Constructors return fresh copies so callers may mutate freely.
+
+// I2 returns the 2×2 identity.
+func I2() *Matrix { return Identity(2) }
+
+// PauliX returns the Pauli X (bit-flip) gate.
+func PauliX() *Matrix { return FromSlice(2, 2, []complex128{0, 1, 1, 0}) }
+
+// PauliY returns the Pauli Y gate.
+func PauliY() *Matrix { return FromSlice(2, 2, []complex128{0, -1i, 1i, 0}) }
+
+// PauliZ returns the Pauli Z (phase-flip) gate.
+func PauliZ() *Matrix { return FromSlice(2, 2, []complex128{1, 0, 0, -1}) }
+
+// Hadamard returns the Hadamard gate.
+func Hadamard() *Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	return FromSlice(2, 2, []complex128{s, s, s, -s})
+}
+
+// SGate returns the phase gate S = diag(1, i).
+func SGate() *Matrix { return FromSlice(2, 2, []complex128{1, 0, 0, 1i}) }
+
+// SDagger returns S† = diag(1, −i).
+func SDagger() *Matrix { return FromSlice(2, 2, []complex128{1, 0, 0, -1i}) }
+
+// TGate returns the T gate diag(1, e^{iπ/4}).
+func TGate() *Matrix {
+	return FromSlice(2, 2, []complex128{1, 0, 0, cmplx.Exp(1i * math.Pi / 4)})
+}
+
+// RX returns the rotation exp(−iθX/2).
+func RX(theta float64) *Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return FromSlice(2, 2, []complex128{c, s, s, c})
+}
+
+// RY returns the rotation exp(−iθY/2).
+func RY(theta float64) *Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return FromSlice(2, 2, []complex128{c, -s, s, c})
+}
+
+// RZ returns the rotation exp(−iθZ/2).
+func RZ(theta float64) *Matrix {
+	return FromSlice(2, 2, []complex128{
+		cmplx.Exp(complex(0, -theta/2)), 0,
+		0, cmplx.Exp(complex(0, theta/2)),
+	})
+}
+
+// CNOT returns the controlled-X gate on (control, target) ordered as the
+// first and second tensor factors.
+func CNOT() *Matrix {
+	return FromSlice(4, 4, []complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+		0, 0, 1, 0,
+	})
+}
+
+// CZ returns the controlled-Z gate.
+func CZ() *Matrix {
+	return FromSlice(4, 4, []complex128{
+		1, 0, 0, 0,
+		0, 1, 0, 0,
+		0, 0, 1, 0,
+		0, 0, 0, -1,
+	})
+}
+
+// SWAP returns the two-qubit SWAP gate.
+func SWAP() *Matrix {
+	return FromSlice(4, 4, []complex128{
+		1, 0, 0, 0,
+		0, 0, 1, 0,
+		0, 1, 0, 0,
+		0, 0, 0, 1,
+	})
+}
+
+// ISWAP returns the iSWAP gate, native to many superconducting couplers.
+func ISWAP() *Matrix {
+	return FromSlice(4, 4, []complex128{
+		1, 0, 0, 0,
+		0, 0, 1i, 0,
+		0, 1i, 0, 0,
+		0, 0, 0, 1,
+	})
+}
+
+// Pauli1 returns the single-qubit Pauli matrix for index 0..3 = I,X,Y,Z.
+func Pauli1(idx int) *Matrix {
+	switch idx {
+	case 0:
+		return I2()
+	case 1:
+		return PauliX()
+	case 2:
+		return PauliY()
+	case 3:
+		return PauliZ()
+	}
+	panic("linalg: Pauli1 index out of range")
+}

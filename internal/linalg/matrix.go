@@ -1,0 +1,266 @@
+// Package linalg provides the dense complex linear algebra kernels that the
+// HetArch density-matrix simulator is built on.
+//
+// Only the operations the quantum layers need are implemented: construction,
+// multiplication, Kronecker products, adjoints, traces, and a handful of
+// structural predicates (hermiticity, unitarity, positive semi-definiteness
+// checks via Gershgorin-free heuristics). Matrices are small — standard cells
+// hold at most a few qubits, so dimensions stay at or below 2^8 — and the
+// implementation favors clarity and exact reproducibility over BLAS-grade
+// throughput.
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+)
+
+// Matrix is a dense, row-major complex matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// New returns a zero-initialized rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// FromSlice builds a rows×cols matrix from a row-major slice. The slice is
+// copied, so the caller retains ownership of data.
+func FromSlice(rows, cols int, data []complex128) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("linalg: FromSlice got %d elements for %dx%d", len(data), rows, cols))
+	}
+	m := New(rows, cols)
+	copy(m.Data, data)
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Matrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// IsSquare reports whether m has equal row and column counts.
+func (m *Matrix) IsSquare() bool { return m.Rows == m.Cols }
+
+// Mul returns the matrix product a·b.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: Mul dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := out.Data[i*out.Cols : (i+1)*out.Cols]
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·v.
+func MulVec(m *Matrix, v []complex128) []complex128 {
+	if m.Cols != len(v) {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %dx%d · %d", m.Rows, m.Cols, len(v)))
+	}
+	out := make([]complex128, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s complex128
+		for j, rv := range row {
+			s += rv * v[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Add returns a+b.
+func Add(a, b *Matrix) *Matrix {
+	mustSameShape("Add", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a−b.
+func Sub(a, b *Matrix) *Matrix {
+	mustSameShape("Sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for i := range a.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// AddInPlace accumulates b into a.
+func AddInPlace(a, b *Matrix) {
+	mustSameShape("AddInPlace", a, b)
+	for i := range a.Data {
+		a.Data[i] += b.Data[i]
+	}
+}
+
+// Scale returns s·m.
+func Scale(s complex128, m *Matrix) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for i, v := range m.Data {
+		out.Data[i] = s * v
+	}
+	return out
+}
+
+// Kron returns the Kronecker (tensor) product a⊗b.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.Rows*b.Rows, a.Cols*b.Cols)
+	for ai := 0; ai < a.Rows; ai++ {
+		for aj := 0; aj < a.Cols; aj++ {
+			av := a.At(ai, aj)
+			if av == 0 {
+				continue
+			}
+			for bi := 0; bi < b.Rows; bi++ {
+				for bj := 0; bj < b.Cols; bj++ {
+					out.Set(ai*b.Rows+bi, aj*b.Cols+bj, av*b.At(bi, bj))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronN returns the Kronecker product of all arguments, left to right.
+func KronN(ms ...*Matrix) *Matrix {
+	if len(ms) == 0 {
+		panic("linalg: KronN needs at least one matrix")
+	}
+	out := ms[0]
+	for _, m := range ms[1:] {
+		out = Kron(out, m)
+	}
+	return out
+}
+
+// Dagger returns the conjugate transpose m†.
+func Dagger(m *Matrix) *Matrix {
+	out := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			out.Set(j, i, cmplx.Conj(m.At(i, j)))
+		}
+	}
+	return out
+}
+
+// Trace returns the trace of a square matrix.
+func Trace(m *Matrix) complex128 {
+	if !m.IsSquare() {
+		panic("linalg: Trace of non-square matrix")
+	}
+	var t complex128
+	for i := 0; i < m.Rows; i++ {
+		t += m.At(i, i)
+	}
+	return t
+}
+
+// FrobeniusNorm returns sqrt(Σ|m_ij|²).
+func FrobeniusNorm(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return math.Sqrt(s)
+}
+
+// ApproxEqual reports whether a and b agree element-wise within tol.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if cmplx.Abs(a.Data[i]-b.Data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsHermitian reports whether m equals its own adjoint within tol.
+func IsHermitian(m *Matrix, tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i; j < m.Cols; j++ {
+			if cmplx.Abs(m.At(i, j)-cmplx.Conj(m.At(j, i))) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsUnitary reports whether m†m = I within tol.
+func IsUnitary(m *Matrix, tol float64) bool {
+	if !m.IsSquare() {
+		return false
+	}
+	return ApproxEqual(Mul(Dagger(m), m), Identity(m.Rows), tol)
+}
+
+// String renders the matrix with aligned columns, for debugging and examples.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		b.WriteString("[")
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			v := m.At(i, j)
+			fmt.Fprintf(&b, "%6.3f%+6.3fi", real(v), imag(v))
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+func mustSameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}

@@ -1,0 +1,249 @@
+package linalg
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-12
+
+func TestIdentityMul(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2i, 3, 4 + 1i})
+	if !ApproxEqual(Mul(Identity(2), a), a, tol) {
+		t.Fatal("I·a != a")
+	}
+	if !ApproxEqual(Mul(a, Identity(2)), a, tol) {
+		t.Fatal("a·I != a")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := FromSlice(2, 2, []complex128{5, 6, 7, 8})
+	want := FromSlice(2, 2, []complex128{19, 22, 43, 50})
+	if !ApproxEqual(Mul(a, b), want, tol) {
+		t.Fatalf("Mul wrong: got\n%v", Mul(a, b))
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	v := MulVec(a, []complex128{1, 1i})
+	if cmplx.Abs(v[0]-(1+2i)) > tol || cmplx.Abs(v[1]-(3+4i)) > tol {
+		t.Fatalf("MulVec wrong: %v", v)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 2, 3, 4})
+	b := FromSlice(2, 2, []complex128{4, 3, 2, 1})
+	if !ApproxEqual(Add(a, b), FromSlice(2, 2, []complex128{5, 5, 5, 5}), tol) {
+		t.Fatal("Add wrong")
+	}
+	if !ApproxEqual(Sub(Add(a, b), b), a, tol) {
+		t.Fatal("Sub wrong")
+	}
+	if !ApproxEqual(Scale(2, a), Add(a, a), tol) {
+		t.Fatal("Scale wrong")
+	}
+}
+
+func TestKronDims(t *testing.T) {
+	a := Identity(2)
+	b := Identity(3)
+	k := Kron(a, b)
+	if k.Rows != 6 || k.Cols != 6 {
+		t.Fatalf("Kron dims %dx%d", k.Rows, k.Cols)
+	}
+	if !ApproxEqual(k, Identity(6), tol) {
+		t.Fatal("I2⊗I3 != I6")
+	}
+}
+
+func TestKronKnown(t *testing.T) {
+	// X ⊗ Z
+	k := Kron(PauliX(), PauliZ())
+	want := FromSlice(4, 4, []complex128{
+		0, 0, 1, 0,
+		0, 0, 0, -1,
+		1, 0, 0, 0,
+		0, -1, 0, 0,
+	})
+	if !ApproxEqual(k, want, tol) {
+		t.Fatalf("X⊗Z wrong:\n%v", k)
+	}
+}
+
+func TestKronN(t *testing.T) {
+	k := KronN(I2(), I2(), I2())
+	if !ApproxEqual(k, Identity(8), tol) {
+		t.Fatal("KronN identity failed")
+	}
+}
+
+func TestDagger(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1 + 1i, 2, 3i, 4})
+	d := Dagger(a)
+	want := FromSlice(2, 2, []complex128{1 - 1i, -3i, 2, 4})
+	if !ApproxEqual(d, want, tol) {
+		t.Fatalf("Dagger wrong:\n%v", d)
+	}
+}
+
+func TestTrace(t *testing.T) {
+	a := FromSlice(2, 2, []complex128{1, 99, 99, 2i})
+	if cmplx.Abs(Trace(a)-(1+2i)) > tol {
+		t.Fatal("Trace wrong")
+	}
+}
+
+func TestGatesAreUnitary(t *testing.T) {
+	gates := map[string]*Matrix{
+		"X": PauliX(), "Y": PauliY(), "Z": PauliZ(),
+		"H": Hadamard(), "S": SGate(), "Sdg": SDagger(), "T": TGate(),
+		"RX": RX(0.7), "RY": RY(1.3), "RZ": RZ(2.1),
+		"CNOT": CNOT(), "CZ": CZ(), "SWAP": SWAP(), "ISWAP": ISWAP(),
+	}
+	for name, g := range gates {
+		if !IsUnitary(g, 1e-10) {
+			t.Errorf("gate %s is not unitary", name)
+		}
+	}
+}
+
+func TestPaulisAreHermitian(t *testing.T) {
+	for i := 0; i < 4; i++ {
+		if !IsHermitian(Pauli1(i), tol) {
+			t.Errorf("Pauli %d not hermitian", i)
+		}
+	}
+}
+
+func TestHadamardSquaresToIdentity(t *testing.T) {
+	h := Hadamard()
+	if !ApproxEqual(Mul(h, h), Identity(2), 1e-10) {
+		t.Fatal("H² != I")
+	}
+}
+
+func TestSDaggerInverts(t *testing.T) {
+	if !ApproxEqual(Mul(SGate(), SDagger()), Identity(2), tol) {
+		t.Fatal("S·S† != I")
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// XY = iZ
+	xy := Mul(PauliX(), PauliY())
+	if !ApproxEqual(xy, Scale(1i, PauliZ()), tol) {
+		t.Fatal("XY != iZ")
+	}
+	// anticommutation {X,Z} = 0
+	anti := Add(Mul(PauliX(), PauliZ()), Mul(PauliZ(), PauliX()))
+	if FrobeniusNorm(anti) > tol {
+		t.Fatal("{X,Z} != 0")
+	}
+}
+
+func TestCNOTAction(t *testing.T) {
+	// CNOT|10⟩ = |11⟩
+	v := MulVec(CNOT(), []complex128{0, 0, 1, 0})
+	if cmplx.Abs(v[3]-1) > tol {
+		t.Fatalf("CNOT|10> = %v", v)
+	}
+	// CNOT|01⟩ = |01⟩
+	v = MulVec(CNOT(), []complex128{0, 1, 0, 0})
+	if cmplx.Abs(v[1]-1) > tol {
+		t.Fatalf("CNOT|01> = %v", v)
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	// RZ(a)·RZ(b) = RZ(a+b)
+	a, b := 0.9, 1.7
+	if !ApproxEqual(Mul(RZ(a), RZ(b)), RZ(a+b), 1e-10) {
+		t.Fatal("RZ composition failed")
+	}
+	// RX(2π) = −I
+	if !ApproxEqual(RX(2*math.Pi), Scale(-1, Identity(2)), 1e-10) {
+		t.Fatal("RX(2π) != -I")
+	}
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+func TestPropertyTraceCyclic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 4)
+		b := randomMatrix(r, 4)
+		return cmplx.Abs(Trace(Mul(a, b))-Trace(Mul(b, a))) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyDaggerInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomMatrix(r, 3)
+		return ApproxEqual(Dagger(Dagger(a)), a, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyKronMulCompatibility(t *testing.T) {
+	// (A⊗B)(C⊗D) = (AC)⊗(BD)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c, d := randomMatrix(r, 2), randomMatrix(r, 2), randomMatrix(r, 2), randomMatrix(r, 2)
+		lhs := Mul(Kron(a, b), Kron(c, d))
+		rhs := Kron(Mul(a, c), Mul(b, d))
+		return ApproxEqual(lhs, rhs, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromSlice(1, 2, []complex128{3, 4i})
+	if math.Abs(FrobeniusNorm(a)-5) > tol {
+		t.Fatal("FrobeniusNorm wrong")
+	}
+}
+
+func TestPanicsOnBadShapes(t *testing.T) {
+	cases := []func(){
+		func() { Mul(Identity(2), Identity(3)) },
+		func() { Add(Identity(2), Identity(3)) },
+		func() { Trace(New(2, 3)) },
+		func() { FromSlice(2, 2, []complex128{1}) },
+		func() { New(0, 1) },
+		func() { Pauli1(4) },
+		func() { MulVec(Identity(2), []complex128{1}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

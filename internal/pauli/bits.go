@@ -1,0 +1,100 @@
+// Package pauli implements Pauli-group algebra and an Aaronson–Gottesman
+// stabilizer tableau simulator (the "CHP" algorithm).
+//
+// This is the exact-simulation half of HetArch's fast tier: Clifford circuits
+// over hundreds of qubits run in polynomial time here, and the Monte Carlo
+// Pauli-frame sampler in package stabsim is validated against it.
+package pauli
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset backed by uint64 words.
+type Bits struct {
+	n     int
+	words []uint64
+}
+
+// NewBits returns a zeroed bitset holding n bits.
+func NewBits(n int) Bits {
+	return Bits{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Len returns the bit capacity.
+func (b Bits) Len() int { return b.n }
+
+// Get returns bit i.
+func (b Bits) Get(i int) bool { return b.words[i>>6]>>(uint(i)&63)&1 == 1 }
+
+// Set assigns bit i.
+func (b Bits) Set(i int, v bool) {
+	if v {
+		b.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+// Flip toggles bit i.
+func (b Bits) Flip(i int) { b.words[i>>6] ^= 1 << (uint(i) & 63) }
+
+// Xor accumulates other into b (b ^= other).
+func (b Bits) Xor(other Bits) {
+	for i, w := range other.words {
+		b.words[i] ^= w
+	}
+}
+
+// Clone returns a deep copy.
+func (b Bits) Clone() Bits {
+	c := NewBits(b.n)
+	copy(c.words, b.words)
+	return c
+}
+
+// Clear zeroes every bit.
+func (b Bits) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Any reports whether any bit is set.
+func (b Bits) Any() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// OnesCount returns the number of set bits.
+func (b Bits) OnesCount() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AndOnesCount returns popcount(b & other) without allocating.
+func (b Bits) AndOnesCount(other Bits) int {
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// Equal reports bitwise equality (capacities must match).
+func (b Bits) Equal(other Bits) bool {
+	if b.n != other.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}

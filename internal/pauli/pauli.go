@@ -1,0 +1,198 @@
+package pauli
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String is an n-qubit Pauli operator i^phase · P₀⊗P₁⊗…, stored in the
+// symplectic (x, z) representation: qubit q carries X if x[q], Z if z[q],
+// Y if both. Phase is a power of i modulo 4; Hermitian Pauli strings have
+// phase 0 (sign +1) or 2 (sign −1).
+type String struct {
+	N     int
+	X, Z  Bits
+	Phase uint8 // exponent of i, mod 4
+}
+
+// NewString returns the n-qubit identity Pauli.
+func NewString(n int) *String {
+	return &String{N: n, X: NewBits(n), Z: NewBits(n)}
+}
+
+// Parse builds a Pauli string from text such as "+XIZY" or "-IZ". The
+// optional leading sign must be '+' or '-'; letters are I, X, Y, Z.
+func Parse(s string) (*String, error) {
+	sign := uint8(0)
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		if s[0] == '-' {
+			sign = 2
+		}
+		s = s[1:]
+	}
+	if len(s) == 0 {
+		return nil, fmt.Errorf("pauli: empty string")
+	}
+	p := NewString(len(s))
+	p.Phase = sign
+	for i, ch := range s {
+		switch ch {
+		case 'I':
+		case 'X':
+			p.X.Set(i, true)
+		case 'Y':
+			p.X.Set(i, true)
+			p.Z.Set(i, true)
+		case 'Z':
+			p.Z.Set(i, true)
+		default:
+			return nil, fmt.Errorf("pauli: invalid letter %q at %d", ch, i)
+		}
+	}
+	return p, nil
+}
+
+// MustParse is Parse that panics on error, for literals in code and tests.
+func MustParse(s string) *String {
+	p, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Clone returns a deep copy.
+func (p *String) Clone() *String {
+	return &String{N: p.N, X: p.X.Clone(), Z: p.Z.Clone(), Phase: p.Phase}
+}
+
+// LetterAt returns 'I', 'X', 'Y' or 'Z' for qubit q.
+func (p *String) LetterAt(q int) byte {
+	x, z := p.X.Get(q), p.Z.Get(q)
+	switch {
+	case x && z:
+		return 'Y'
+	case x:
+		return 'X'
+	case z:
+		return 'Z'
+	}
+	return 'I'
+}
+
+// SetLetter assigns the Pauli on qubit q.
+func (p *String) SetLetter(q int, letter byte) {
+	switch letter {
+	case 'I':
+		p.X.Set(q, false)
+		p.Z.Set(q, false)
+	case 'X':
+		p.X.Set(q, true)
+		p.Z.Set(q, false)
+	case 'Y':
+		p.X.Set(q, true)
+		p.Z.Set(q, true)
+	case 'Z':
+		p.X.Set(q, false)
+		p.Z.Set(q, true)
+	default:
+		panic("pauli: invalid letter")
+	}
+}
+
+// Weight returns the number of non-identity tensor factors.
+func (p *String) Weight() int {
+	w := 0
+	for i := 0; i < p.N; i++ {
+		if p.X.Get(i) || p.Z.Get(i) {
+			w++
+		}
+	}
+	return w
+}
+
+// IsIdentity reports whether every factor is I (any phase).
+func (p *String) IsIdentity() bool { return !p.X.Any() && !p.Z.Any() }
+
+// Commutes reports whether p and q commute. Two Pauli strings commute iff
+// the symplectic inner product Σ (x_p·z_q + z_p·x_q) is even.
+func (p *String) Commutes(q *String) bool {
+	if p.N != q.N {
+		panic("pauli: Commutes length mismatch")
+	}
+	anti := p.X.AndOnesCount(q.Z) + p.Z.AndOnesCount(q.X)
+	return anti%2 == 0
+}
+
+// Mul sets p to the product p·q, tracking the i-power phase exactly.
+func (p *String) Mul(q *String) {
+	if p.N != q.N {
+		panic("pauli: Mul length mismatch")
+	}
+	phase := int(p.Phase) + int(q.Phase)
+	for i := 0; i < p.N; i++ {
+		phase += pauliMulPhase(p.X.Get(i), p.Z.Get(i), q.X.Get(i), q.Z.Get(i))
+	}
+	p.X.Xor(q.X)
+	p.Z.Xor(q.Z)
+	p.Phase = uint8(((phase % 4) + 4) % 4)
+}
+
+// pauliMulPhase returns the power of i contributed by multiplying the
+// single-qubit Paulis (x1,z1)·(x2,z2), using the convention Y = iXZ.
+func pauliMulPhase(x1, z1, x2, z2 bool) int {
+	// Encode as 0=I 1=X 2=Y 3=Z and look up i-exponent of product.
+	enc := func(x, z bool) int {
+		switch {
+		case x && z:
+			return 2 // Y
+		case x:
+			return 1 // X
+		case z:
+			return 3 // Z
+		}
+		return 0
+	}
+	a, b := enc(x1, z1), enc(x2, z2)
+	// table[a][b]: phase exponent of i in P_a · P_b.
+	// X·Y=iZ, Y·Z=iX, Z·X=iY; reversed order gives −i (exponent 3).
+	table := [4][4]int{
+		{0, 0, 0, 0},
+		{0, 0, 1, 3}, // X: X·X=I, X·Y=iZ, X·Z=-iY
+		{0, 3, 0, 1}, // Y: Y·X=-iZ, Y·Y=I, Y·Z=iX
+		{0, 1, 3, 0}, // Z: Z·X=iY, Z·Y=-iX, Z·Z=I
+	}
+	return table[a][b]
+}
+
+// Sign returns +1 or −1 for Hermitian strings; it panics if the phase is
+// imaginary (i or −i), which cannot occur for products of Hermitian
+// commuting stabilizers.
+func (p *String) Sign() int {
+	switch p.Phase {
+	case 0:
+		return 1
+	case 2:
+		return -1
+	}
+	panic("pauli: non-Hermitian phase")
+}
+
+// String renders the operator, e.g. "-XIZY".
+func (p *String) String() string {
+	var b strings.Builder
+	switch p.Phase {
+	case 0:
+		b.WriteByte('+')
+	case 1:
+		b.WriteString("+i")
+	case 2:
+		b.WriteByte('-')
+	case 3:
+		b.WriteString("-i")
+	}
+	for i := 0; i < p.N; i++ {
+		b.WriteByte(p.LetterAt(i))
+	}
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if b.Any() {
+		t.Fatal("fresh bits not empty")
+	}
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Get/Set wrong")
+	}
+	if b.OnesCount() != 3 {
+		t.Fatal("OnesCount wrong")
+	}
+	b.Flip(129)
+	if b.Get(129) || b.OnesCount() != 2 {
+		t.Fatal("Flip wrong")
+	}
+	c := b.Clone()
+	c.Xor(b)
+	if c.Any() {
+		t.Fatal("x ^ x != 0")
+	}
+	if !b.Equal(b.Clone()) {
+		t.Fatal("Equal wrong")
+	}
+	b.Clear()
+	if b.Any() {
+		t.Fatal("Clear failed")
+	}
+}
+
+func TestBitsAndOnesCount(t *testing.T) {
+	a := NewBits(70)
+	b := NewBits(70)
+	a.Set(3, true)
+	a.Set(69, true)
+	b.Set(69, true)
+	b.Set(5, true)
+	if a.AndOnesCount(b) != 1 {
+		t.Fatal("AndOnesCount wrong")
+	}
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []string{"+XIZY", "-IZ", "+IIII", "-YYXZ"}
+	for _, s := range cases {
+		p := MustParse(s)
+		if p.String() != s {
+			t.Errorf("round trip %q -> %q", s, p.String())
+		}
+	}
+	if _, err := Parse("XQZ"); err == nil {
+		t.Error("expected parse error for bad letter")
+	}
+	if _, err := Parse(""); err == nil {
+		t.Error("expected parse error for empty")
+	}
+	// Default sign is +.
+	if MustParse("XX").String() != "+XX" {
+		t.Error("default sign wrong")
+	}
+}
+
+func TestWeightAndIdentity(t *testing.T) {
+	p := MustParse("XIYZI")
+	if p.Weight() != 3 {
+		t.Fatal("weight wrong")
+	}
+	if p.IsIdentity() {
+		t.Fatal("not identity")
+	}
+	if !MustParse("-III").IsIdentity() {
+		t.Fatal("identity with sign should count as identity support-wise")
+	}
+}
+
+func TestCommutes(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"X", "X", true},
+		{"X", "Z", false},
+		{"X", "Y", false},
+		{"XX", "ZZ", true},
+		{"XI", "ZZ", false},
+		{"XYZ", "YZX", false}, // three anticommuting sites -> odd -> anticommute
+		{"XXI", "ZZI", true},
+	}
+	for _, c := range cases {
+		a, b := MustParse(c.a), MustParse(c.b)
+		if got := a.Commutes(b); got != c.want {
+			t.Errorf("Commutes(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulKnownProducts(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"+X", "+Y", "+iZ"},
+		{"+Y", "+X", "-iZ"},
+		{"+Z", "+Z", "+I"},
+		{"+XX", "+ZZ", "-YY"}, // (XZ)⊗(XZ) = (-iY)(-iY) = -YY
+		{"-X", "+X", "-I"},
+		{"+XIZ", "+IXI", "+XXZ"},
+	}
+	for _, c := range cases {
+		a := MustParse(c.a)
+		a.Mul(MustParse(c.b))
+		if a.String() != c.want {
+			t.Errorf("%s · %s = %s, want %s", c.a, c.b, a.String(), c.want)
+		}
+	}
+}
+
+func randomPauli(rng *rand.Rand, n int) *String {
+	p := NewString(n)
+	for i := 0; i < n; i++ {
+		p.SetLetter(i, "IXYZ"[rng.Intn(4)])
+	}
+	if rng.Intn(2) == 1 {
+		p.Phase = 2
+	}
+	return p
+}
+
+func TestPropertyMulAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randomPauli(rng, 6), randomPauli(rng, 6), randomPauli(rng, 6)
+		left := a.Clone()
+		left.Mul(b)
+		left.Mul(c)
+		bc := b.Clone()
+		bc.Mul(c)
+		right := a.Clone()
+		right.Mul(bc)
+		return left.String() == right.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySelfInverseUpToSign(t *testing.T) {
+	// P·P = ±I for Hermitian P; with our Y convention, P·P = +I.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomPauli(rng, 5)
+		a.Phase = 0
+		sq := a.Clone()
+		sq.Mul(a)
+		return sq.IsIdentity() && sq.Phase == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCommutationConsistentWithMul(t *testing.T) {
+	// a·b = ±(b·a), with + iff they commute.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomPauli(rng, 4), randomPauli(rng, 4)
+		ab := a.Clone()
+		ab.Mul(b)
+		ba := b.Clone()
+		ba.Mul(a)
+		if !ab.X.Equal(ba.X) || !ab.Z.Equal(ba.Z) {
+			return false
+		}
+		phaseDiff := (int(ab.Phase) - int(ba.Phase) + 4) % 4
+		if a.Commutes(b) {
+			return phaseDiff == 0
+		}
+		return phaseDiff == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package pauli
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tableau is an Aaronson–Gottesman stabilizer tableau over n qubits: rows
+// 0..n−1 hold the destabilizer generators and rows n..2n−1 the stabilizer
+// generators of the current state. The initial state is |0…0⟩ with
+// stabilizers Z₁…Zₙ and destabilizers X₁…Xₙ.
+//
+// All Clifford operations run in O(n) per gate and O(n²) per measurement,
+// allowing exact simulation of the surface-code and UEC circuits used in the
+// HetArch evaluation at hundreds of qubits.
+type Tableau struct {
+	n    int
+	x, z []Bits // 2n rows each
+	r    []bool // sign bit per row: true means −1
+	// scratch row used during deterministic measurements
+	sx, sz Bits
+}
+
+// NewTableau returns a tableau initialized to |0…0⟩.
+func NewTableau(n int) *Tableau {
+	if n <= 0 {
+		panic("pauli: tableau needs n > 0")
+	}
+	t := &Tableau{
+		n:  n,
+		x:  make([]Bits, 2*n),
+		z:  make([]Bits, 2*n),
+		r:  make([]bool, 2*n),
+		sx: NewBits(n),
+		sz: NewBits(n),
+	}
+	for i := 0; i < n; i++ {
+		t.x[i] = NewBits(n)
+		t.z[i] = NewBits(n)
+		t.x[i].Set(i, true) // destabilizer Xᵢ
+		t.x[n+i] = NewBits(n)
+		t.z[n+i] = NewBits(n)
+		t.z[n+i].Set(i, true) // stabilizer Zᵢ
+	}
+	return t
+}
+
+// NumQubits returns n.
+func (t *Tableau) NumQubits() int { return t.n }
+
+// H applies a Hadamard to qubit q.
+func (t *Tableau) H(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		xb, zb := t.x[i].Get(q), t.z[i].Get(q)
+		if xb && zb {
+			t.r[i] = !t.r[i]
+		}
+		t.x[i].Set(q, zb)
+		t.z[i].Set(q, xb)
+	}
+}
+
+// S applies the phase gate to qubit q.
+func (t *Tableau) S(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		xb, zb := t.x[i].Get(q), t.z[i].Get(q)
+		if xb && zb {
+			t.r[i] = !t.r[i]
+		}
+		if xb {
+			t.z[i].Flip(q)
+		}
+	}
+}
+
+// SDag applies S† to qubit q.
+func (t *Tableau) SDag(q int) { t.S(q); t.S(q); t.S(q) }
+
+// X applies a Pauli X to qubit q.
+func (t *Tableau) X(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		if t.z[i].Get(q) {
+			t.r[i] = !t.r[i]
+		}
+	}
+}
+
+// Z applies a Pauli Z to qubit q.
+func (t *Tableau) Z(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		if t.x[i].Get(q) {
+			t.r[i] = !t.r[i]
+		}
+	}
+}
+
+// Y applies a Pauli Y to qubit q.
+func (t *Tableau) Y(q int) {
+	for i := 0; i < 2*t.n; i++ {
+		if t.x[i].Get(q) != t.z[i].Get(q) {
+			t.r[i] = !t.r[i]
+		}
+	}
+}
+
+// CX applies a controlled-X with control c and target tq.
+func (t *Tableau) CX(c, tq int) {
+	if c == tq {
+		panic("pauli: CX with identical qubits")
+	}
+	for i := 0; i < 2*t.n; i++ {
+		xc, zc := t.x[i].Get(c), t.z[i].Get(c)
+		xt, zt := t.x[i].Get(tq), t.z[i].Get(tq)
+		if xc && zt && (xt == zc) {
+			t.r[i] = !t.r[i]
+		}
+		if xc {
+			t.x[i].Flip(tq)
+		}
+		if zt {
+			t.z[i].Flip(c)
+		}
+	}
+}
+
+// CZ applies a controlled-Z between a and b.
+func (t *Tableau) CZ(a, b int) {
+	t.H(b)
+	t.CX(a, b)
+	t.H(b)
+}
+
+// SWAP exchanges qubits a and b.
+func (t *Tableau) SWAP(a, b int) {
+	t.CX(a, b)
+	t.CX(b, a)
+	t.CX(a, b)
+}
+
+// ApplyPauliErr conjugates the state by the Pauli p (i.e. injects the error
+// p). Stabilizer signs flip wherever they anticommute with p.
+func (t *Tableau) ApplyPauliErr(p *String) {
+	if p.N != t.n {
+		panic("pauli: ApplyPauliErr length mismatch")
+	}
+	for i := 0; i < 2*t.n; i++ {
+		anti := t.x[i].AndOnesCount(p.Z) + t.z[i].AndOnesCount(p.X)
+		if anti%2 == 1 {
+			t.r[i] = !t.r[i]
+		}
+	}
+}
+
+// rowsum left-multiplies row h by row i (row h := row i · row h), tracking
+// the sign exactly. Stabilizer rows always commute with the pivot so their
+// product stays Hermitian; a destabilizer row may anticommute with it, in
+// which case the resulting phase is imaginary — but destabilizer phases are
+// never read (only their supports matter), so the odd phase bit is dropped,
+// exactly as in the original CHP implementation.
+func (t *Tableau) rowsum(h, i int) {
+	phase := 0
+	if t.r[h] {
+		phase += 2
+	}
+	if t.r[i] {
+		phase += 2
+	}
+	for q := 0; q < t.n; q++ {
+		phase += pauliMulPhase(t.x[i].Get(q), t.z[i].Get(q), t.x[h].Get(q), t.z[h].Get(q))
+	}
+	phase = ((phase % 4) + 4) % 4
+	if h >= t.n && phase != 0 && phase != 2 {
+		panic("pauli: rowsum produced non-Hermitian stabilizer row")
+	}
+	t.r[h] = phase == 2
+	t.x[h].Xor(t.x[i])
+	t.z[h].Xor(t.z[i])
+}
+
+// scratchRowsum multiplies the scratch row by row i, returning the updated
+// scratch phase (0 or 2).
+func (t *Tableau) scratchRowsum(phase int, i int) int {
+	if t.r[i] {
+		phase += 2
+	}
+	for q := 0; q < t.n; q++ {
+		phase += pauliMulPhase(t.x[i].Get(q), t.z[i].Get(q), t.sx.Get(q), t.sz.Get(q))
+	}
+	t.sx.Xor(t.x[i])
+	t.sz.Xor(t.z[i])
+	return ((phase % 4) + 4) % 4
+}
+
+// MeasureZ measures qubit q in the Z basis, collapsing the state.
+// It returns the outcome (0 or 1) and whether the outcome was deterministic.
+func (t *Tableau) MeasureZ(q int, rng *rand.Rand) (outcome int, deterministic bool) {
+	n := t.n
+	p := -1
+	for i := n; i < 2*n; i++ {
+		if t.x[i].Get(q) {
+			p = i
+			break
+		}
+	}
+	if p >= 0 {
+		// Random outcome.
+		for i := 0; i < 2*n; i++ {
+			if i != p && t.x[i].Get(q) {
+				t.rowsum(i, p)
+			}
+		}
+		// Destabilizer p−n becomes old stabilizer row p.
+		t.x[p-n], t.x[p] = t.x[p], t.x[p-n]
+		t.z[p-n], t.z[p] = t.z[p], t.z[p-n]
+		t.r[p-n] = t.r[p]
+		// New stabilizer row p = ±Z_q.
+		t.x[p].Clear()
+		t.z[p].Clear()
+		t.z[p].Set(q, true)
+		out := rng.Intn(2)
+		t.r[p] = out == 1
+		return out, false
+	}
+	// Deterministic outcome: accumulate product of stabilizers whose
+	// destabilizer partners anticommute with Z_q.
+	t.sx.Clear()
+	t.sz.Clear()
+	phase := 0
+	for i := 0; i < n; i++ {
+		if t.x[i].Get(q) {
+			phase = t.scratchRowsum(phase, i+n)
+		}
+	}
+	if phase == 2 {
+		return 1, true
+	}
+	return 0, true
+}
+
+// Reset projects qubit q to |0⟩ (measure, then flip if needed).
+func (t *Tableau) Reset(q int, rng *rand.Rand) {
+	out, _ := t.MeasureZ(q, rng)
+	if out == 1 {
+		t.X(q)
+	}
+}
+
+// ExpectationZ returns +1, −1 or 0 for ⟨Z_q⟩ without collapsing: 0 means the
+// outcome is random; otherwise the deterministic sign is returned.
+func (t *Tableau) ExpectationZ(q int) int {
+	for i := t.n; i < 2*t.n; i++ {
+		if t.x[i].Get(q) {
+			return 0
+		}
+	}
+	t.sx.Clear()
+	t.sz.Clear()
+	phase := 0
+	for i := 0; i < t.n; i++ {
+		if t.x[i].Get(q) {
+			phase = t.scratchRowsum(phase, i+t.n)
+		}
+	}
+	if phase == 2 {
+		return -1
+	}
+	return 1
+}
+
+// StabilizerRow returns a copy of stabilizer generator i (0 ≤ i < n).
+func (t *Tableau) StabilizerRow(i int) *String {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("pauli: stabilizer row %d out of range", i))
+	}
+	p := &String{N: t.n, X: t.x[t.n+i].Clone(), Z: t.z[t.n+i].Clone()}
+	if t.r[t.n+i] {
+		p.Phase = 2
+	}
+	return p
+}
+
+// IsStabilizedBy reports whether the Hermitian Pauli p (with its sign) is in
+// the state's stabilizer group, by Gaussian elimination over the stabilizer
+// rows. It returns (inGroup, signMatches).
+func (t *Tableau) IsStabilizedBy(p *String) (bool, bool) {
+	if p.N != t.n {
+		panic("pauli: IsStabilizedBy length mismatch")
+	}
+	// Work on copies of the stabilizer rows.
+	rows := make([]*String, t.n)
+	for i := 0; i < t.n; i++ {
+		rows[i] = t.StabilizerRow(i)
+	}
+	target := p.Clone()
+	// Reduce target by eliminating its support with row operations.
+	for col := 0; col < t.n; col++ {
+		for _, wantX := range []bool{true, false} {
+			// Find a pivot row with the right kind of support at col.
+			pivot := -1
+			for ri, row := range rows {
+				if row == nil {
+					continue
+				}
+				if wantX && row.X.Get(col) {
+					pivot = ri
+					break
+				}
+				if !wantX && !row.X.Get(col) && row.Z.Get(col) {
+					pivot = ri
+					break
+				}
+			}
+			if pivot < 0 {
+				continue
+			}
+			// Eliminate col from every other row and from the target.
+			for ri, row := range rows {
+				if ri == pivot || row == nil {
+					continue
+				}
+				match := (wantX && row.X.Get(col)) || (!wantX && !row.X.Get(col) && row.Z.Get(col))
+				if match {
+					row.Mul(rows[pivot])
+				}
+			}
+			tMatch := (wantX && target.X.Get(col)) || (!wantX && !target.X.Get(col) && target.Z.Get(col))
+			if tMatch {
+				target.Mul(rows[pivot])
+			}
+			rows[pivot] = nil // pivot consumed
+		}
+	}
+	if !target.IsIdentity() {
+		return false, false
+	}
+	return true, target.Phase == 0
+}

@@ -1,0 +1,308 @@
+package pauli
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableauInitialState(t *testing.T) {
+	tb := NewTableau(3)
+	rng := rand.New(rand.NewSource(1))
+	for q := 0; q < 3; q++ {
+		out, det := tb.MeasureZ(q, rng)
+		if out != 0 || !det {
+			t.Fatalf("qubit %d: out=%d det=%v", q, out, det)
+		}
+	}
+}
+
+func TestTableauXFlips(t *testing.T) {
+	tb := NewTableau(2)
+	tb.X(1)
+	rng := rand.New(rand.NewSource(1))
+	if out, det := tb.MeasureZ(1, rng); out != 1 || !det {
+		t.Fatal("X did not flip deterministically")
+	}
+	if out, _ := tb.MeasureZ(0, rng); out != 0 {
+		t.Fatal("X disturbed qubit 0")
+	}
+}
+
+func TestTableauHadamardRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ones := 0
+	for i := 0; i < 400; i++ {
+		tb := NewTableau(1)
+		tb.H(0)
+		out, det := tb.MeasureZ(0, rng)
+		if det {
+			t.Fatal("H|0> measurement should be random")
+		}
+		ones += out
+	}
+	if ones < 150 || ones > 250 {
+		t.Fatalf("H measurement bias: %d/400 ones", ones)
+	}
+}
+
+func TestTableauBellCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		tb := NewTableau(2)
+		tb.H(0)
+		tb.CX(0, 1)
+		a, adet := tb.MeasureZ(0, rng)
+		b, bdet := tb.MeasureZ(1, rng)
+		if adet {
+			t.Fatal("first Bell measurement should be random")
+		}
+		if !bdet {
+			t.Fatal("second Bell measurement should be deterministic")
+		}
+		if a != b {
+			t.Fatal("Bell pair anticorrelated in Z")
+		}
+	}
+}
+
+func TestTableauStabilizersOfBell(t *testing.T) {
+	tb := NewTableau(2)
+	tb.H(0)
+	tb.CX(0, 1)
+	for _, s := range []string{"+XX", "+ZZ", "-YY"} {
+		in, sign := tb.IsStabilizedBy(MustParse(s))
+		if !in || !sign {
+			t.Errorf("Bell state should be stabilized by %s (in=%v sign=%v)", s, in, sign)
+		}
+	}
+	if in, sign := tb.IsStabilizedBy(MustParse("-XX")); !in || sign {
+		t.Error("-XX should be in group with opposite sign")
+	}
+	if in, _ := tb.IsStabilizedBy(MustParse("+XI")); in {
+		t.Error("+XI should not stabilize a Bell state")
+	}
+}
+
+func TestTableauGHZ(t *testing.T) {
+	tb := NewTableau(4)
+	tb.H(0)
+	for i := 0; i < 3; i++ {
+		tb.CX(i, i+1)
+	}
+	for _, s := range []string{"+XXXX", "+ZZII", "+IZZI", "+IIZZ"} {
+		if in, sign := tb.IsStabilizedBy(MustParse(s)); !in || !sign {
+			t.Errorf("GHZ should be stabilized by %s", s)
+		}
+	}
+}
+
+func TestTableauSGate(t *testing.T) {
+	// S|+> has stabilizer Y.
+	tb := NewTableau(1)
+	tb.H(0)
+	tb.S(0)
+	if in, sign := tb.IsStabilizedBy(MustParse("+Y")); !in || !sign {
+		t.Fatal("S|+> should be stabilized by +Y")
+	}
+	// SDag undoes S.
+	tb.SDag(0)
+	if in, sign := tb.IsStabilizedBy(MustParse("+X")); !in || !sign {
+		t.Fatal("S† S|+> should be |+>")
+	}
+}
+
+func TestTableauCZ(t *testing.T) {
+	// CZ(H⊗H)|00> = graph state with stabilizers XZ, ZX.
+	tb := NewTableau(2)
+	tb.H(0)
+	tb.H(1)
+	tb.CZ(0, 1)
+	for _, s := range []string{"+XZ", "+ZX"} {
+		if in, sign := tb.IsStabilizedBy(MustParse(s)); !in || !sign {
+			t.Errorf("graph state should be stabilized by %s", s)
+		}
+	}
+}
+
+func TestTableauSWAP(t *testing.T) {
+	tb := NewTableau(2)
+	tb.X(0)
+	tb.SWAP(0, 1)
+	rng := rand.New(rand.NewSource(1))
+	if out, _ := tb.MeasureZ(0, rng); out != 0 {
+		t.Fatal("SWAP failed on qubit 0")
+	}
+	if out, _ := tb.MeasureZ(1, rng); out != 1 {
+		t.Fatal("SWAP failed on qubit 1")
+	}
+}
+
+func TestTableauReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := NewTableau(2)
+	tb.H(0)
+	tb.CX(0, 1)
+	tb.Reset(0, rng)
+	if out, det := tb.MeasureZ(0, rng); out != 0 || !det {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestTableauPauliErrorFlipsMeasurement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := NewTableau(3)
+	err := NewString(3)
+	err.SetLetter(1, 'X')
+	tb.ApplyPauliErr(err)
+	if out, _ := tb.MeasureZ(1, rng); out != 1 {
+		t.Fatal("injected X error should flip Z measurement")
+	}
+	if out, _ := tb.MeasureZ(0, rng); out != 0 {
+		t.Fatal("error leaked to other qubit")
+	}
+}
+
+func TestTableauZErrorInvisibleInZBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := NewTableau(1)
+	err := NewString(1)
+	err.SetLetter(0, 'Z')
+	tb.ApplyPauliErr(err)
+	if out, _ := tb.MeasureZ(0, rng); out != 0 {
+		t.Fatal("Z error should not affect Z measurement of |0>")
+	}
+}
+
+func TestTableauExpectationZ(t *testing.T) {
+	tb := NewTableau(2)
+	if tb.ExpectationZ(0) != 1 {
+		t.Fatal("<Z> of |0> should be +1")
+	}
+	tb.X(0)
+	if tb.ExpectationZ(0) != -1 {
+		t.Fatal("<Z> of |1> should be -1")
+	}
+	tb.H(1)
+	if tb.ExpectationZ(1) != 0 {
+		t.Fatal("<Z> of |+> should be random (0)")
+	}
+}
+
+func TestTableauRepeatedMeasurementConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		tb := NewTableau(3)
+		tb.H(0)
+		tb.CX(0, 1)
+		tb.CX(1, 2)
+		first, _ := tb.MeasureZ(1, rng)
+		second, det := tb.MeasureZ(1, rng)
+		if !det || first != second {
+			t.Fatal("repeated measurement changed outcome")
+		}
+	}
+}
+
+// TestTableauMatchesDensityMatrix cross-checks measurement probabilities of
+// random Clifford circuits against exact expectations from the circuit
+// structure by running many shots.
+func TestTableauRandomCircuitSelfConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		type op struct{ kind, a, b int }
+		var ops []op
+		for i := 0; i < 30; i++ {
+			k := rng.Intn(4)
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			for b == a {
+				b = rng.Intn(n)
+			}
+			ops = append(ops, op{k, a, b})
+		}
+		run := func(rng *rand.Rand) []int {
+			tb := NewTableau(n)
+			for _, o := range ops {
+				switch o.kind {
+				case 0:
+					tb.H(o.a)
+				case 1:
+					tb.S(o.a)
+				case 2:
+					tb.CX(o.a, o.b)
+				case 3:
+					tb.CZ(o.a, o.b)
+				}
+			}
+			outs := make([]int, n)
+			dets := make([]bool, n)
+			for q := 0; q < n; q++ {
+				outs[q], dets[q] = tb.MeasureZ(q, rng)
+			}
+			// determinism pattern must be identical across shots
+			code := 0
+			for q := 0; q < n; q++ {
+				if dets[q] {
+					code |= 1 << q
+				}
+			}
+			return append(outs, code)
+		}
+		r1 := run(rand.New(rand.NewSource(seed + 1)))
+		r2 := run(rand.New(rand.NewSource(seed + 2)))
+		// Determinism pattern is a property of the circuit, not the shot.
+		if r1[n] != r2[n] {
+			return false
+		}
+		// Deterministic outcomes measured before any random measurement
+		// cannot depend on shot randomness and must agree across shots.
+		// (Later deterministic outcomes may be correlated with earlier
+		// random ones, e.g. the second half of a Bell pair.)
+		for q := 0; q < n; q++ {
+			if r1[n]&(1<<q) == 0 {
+				break // first random measurement: stop comparing
+			}
+			if r1[q] != r2[q] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyStabilizerRowsCommute(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		tb := NewTableau(n)
+		for i := 0; i < 40; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				tb.H(rng.Intn(n))
+			case 1:
+				tb.S(rng.Intn(n))
+			default:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a != b {
+					tb.CX(a, b)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if !tb.StabilizerRow(i).Commutes(tb.StabilizerRow(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+package qec
+
+// TriColor5 returns the distance-5 triangular color code on the hexagonal
+// (6.6.6) lattice: a [[19,1,5]] self-dual CSS code with nine faces (six
+// weight-4 boundary faces, three weight-6 bulk hexagons), each contributing
+// one X- and one Z-type stabilizer.
+//
+// The HetArch paper evaluates the 17-qubit distance-5 color code on the
+// square-octagon (4.8.8) lattice; this repository substitutes the 6.6.6
+// member of the same triangular color-code family — identical distance,
+// identical role (a non-square-lattice code whose high connectivity demands
+// are served by the UEC module's many-to-one storage topology), two extra
+// data qubits. The face list below was derived from a hexagonal-lattice
+// triangular patch and certified by exhaustive search: stabilizers commute,
+// 18 independent generators leave one logical qubit, and the minimum logical
+// weight is exactly 5 (see TestTriColor5Distance).
+func TriColor5() *Code {
+	faces := [][]int{
+		{3, 4, 7, 8},
+		{1, 2, 5, 6},
+		{2, 3, 6, 7, 10, 11},
+		{7, 8, 11, 14},
+		{0, 1, 5, 9},
+		{5, 6, 9, 10, 12, 13},
+		{10, 11, 13, 14, 15, 16},
+		{12, 13, 15, 17},
+		{15, 16, 17, 18},
+	}
+	// One triangle side; |L| = 5 is odd so X(L) and Z(L) anticommute.
+	logical := []int{0, 1, 2, 3, 4}
+	return FromSupports("TriColor5", 19, 5, faces, faces, logical, logical)
+}

@@ -1,0 +1,62 @@
+package qec
+
+// Steane returns the [[7,1,3]] Steane code, the CSS code built from the
+// classical [7,4,3] Hamming code in both bases. It is also the distance-3
+// member of the triangular color-code family, so every stabilizer support is
+// shared between the X and Z sectors.
+func Steane() *Code {
+	supports := [][]int{
+		{0, 2, 4, 6}, // Hamming parity bit 0
+		{1, 2, 5, 6}, // Hamming parity bit 1
+		{3, 4, 5, 6}, // Hamming parity bit 2
+	}
+	return FromSupports("Steane", 7, 3,
+		supports, supports,
+		[]int{0, 1, 2}, // weight-3 logical X
+		[]int{0, 1, 2}, // weight-3 logical Z
+	)
+}
+
+// ReedMuller15 returns the [[15,1,3]] quantum Reed–Muller code. Qubit q
+// (0-indexed) corresponds to the nonzero 4-bit vector q+1. X stabilizers are
+// the four weight-8 coordinate hyperplanes (punctured RM(1,4)); Z stabilizers
+// add the six weight-4 pairwise intersections (punctured RM(2,4)). This code
+// has a transversal T gate and the high-weight non-planar checks that
+// motivate the paper's universal-error-correction module.
+func ReedMuller15() *Code {
+	n := 15
+	bitSet := func(bits ...int) []int {
+		var s []int
+		for v := 1; v <= 15; v++ {
+			ok := true
+			for _, b := range bits {
+				if v>>uint(b)&1 == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				s = append(s, v-1)
+			}
+		}
+		return s
+	}
+	var xSup, zSup [][]int
+	for b := 0; b < 4; b++ {
+		xSup = append(xSup, bitSet(b))
+		zSup = append(zSup, bitSet(b))
+	}
+	for b1 := 0; b1 < 4; b1++ {
+		for b2 := b1 + 1; b2 < 4; b2++ {
+			zSup = append(zSup, bitSet(b1, b2))
+		}
+	}
+	// Logical Z: weight-3 on vectors {1,2,3} (qubits 0,1,2); logical X: the
+	// complement-style weight-7 representative on the bit-3 hyperplane's
+	// complement {1..7} (qubits 0..6).
+	return FromSupports("ReedMuller15", n, 3,
+		xSup, zSup,
+		[]int{0, 1, 2, 3, 4, 5, 6},
+		[]int{0, 1, 2},
+	)
+}

@@ -1,0 +1,86 @@
+// Package sched is a small deterministic discrete-event simulator used by
+// the entanglement-distillation module, whose operation is driven by
+// stochastic EP generation and must dynamically coordinate memory and
+// distillation resources (Section 4.1 of the paper).
+package sched
+
+import "container/heap"
+
+// event is one scheduled callback.
+type event struct {
+	time float64
+	seq  int64 // tie-breaker: FIFO among equal times
+	fn   func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a discrete-event simulation clock. The zero value is ready to use.
+type Sim struct {
+	now   float64
+	seq   int64
+	queue eventQueue
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (t must not be in the past).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		panic("sched: scheduling into the past")
+	}
+	s.seq++
+	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d time units from now.
+func (s *Sim) After(d float64, fn func()) {
+	if d < 0 {
+		panic("sched: negative delay")
+	}
+	s.At(s.now+d, fn)
+}
+
+// Step executes the next event; it reports false when the queue is empty.
+func (s *Sim) Step() bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.queue).(*event)
+	s.now = e.time
+	e.fn()
+	return true
+}
+
+// RunUntil executes events in order until the clock would pass t or the
+// queue drains; the clock is left at min(t, last event time ≥ current).
+func (s *Sim) RunUntil(t float64) {
+	for len(s.queue) > 0 && s.queue[0].time <= t {
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (s *Sim) Pending() int { return len(s.queue) }

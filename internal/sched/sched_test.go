@@ -1,0 +1,95 @@
+package sched
+
+import "testing"
+
+func TestEventOrdering(t *testing.T) {
+	var s Sim
+	var order []int
+	s.At(5, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(9, func() { order = append(order, 3) })
+	s.RunUntil(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order %v", order)
+	}
+	if s.Now() != 100 {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.RunUntil(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ties not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var s Sim
+	var times []float64
+	s.At(1, func() {
+		times = append(times, s.Now())
+		s.After(2, func() { times = append(times, s.Now()) })
+	})
+	s.RunUntil(10)
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Fatalf("times %v", times)
+	}
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	var s Sim
+	fired := false
+	s.At(5, func() { fired = true })
+	s.RunUntil(3)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Now() != 3 {
+		t.Fatal("clock should advance to horizon")
+	}
+	if s.Pending() != 1 {
+		t.Fatal("event should remain queued")
+	}
+	s.RunUntil(10)
+	if !fired {
+		t.Fatal("event should fire on the next run")
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var s Sim
+	if s.Step() {
+		t.Fatal("Step on empty queue should return false")
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var s Sim
+	s.At(5, func() {})
+	s.RunUntil(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	var s Sim
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.After(-1, func() {})
+}

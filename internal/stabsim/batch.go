@@ -1,0 +1,236 @@
+package stabsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BatchFrameSampler propagates 64 Pauli frames simultaneously, one per bit
+// of a machine word — the bit-parallel trick that gives Stim-class sampling
+// throughput. Clifford frame updates become one or two word operations;
+// noise channels sample sparse bit masks (errors are rare, so the expected
+// cost per channel is O(64·p) rather than O(64)).
+//
+// The output is bit-transposed relative to FrameSampler: each detector and
+// observable is reported as a 64-bit word holding that signal for all 64
+// shots of the batch.
+type BatchFrameSampler struct {
+	c   *Circuit
+	rng *rand.Rand
+
+	fx, fz    []uint64 // frame words, one per qubit
+	flips     []uint64 // measurement-record words
+	detectors []uint64
+	obs       []uint64
+}
+
+// NewBatchFrameSampler prepares a bit-parallel sampler for the circuit.
+func NewBatchFrameSampler(c *Circuit, rng *rand.Rand) *BatchFrameSampler {
+	return &BatchFrameSampler{
+		c:         c,
+		rng:       rng,
+		fx:        make([]uint64, c.N),
+		fz:        make([]uint64, c.N),
+		flips:     make([]uint64, 0, c.numMeasurements),
+		detectors: make([]uint64, c.numDetectors),
+		obs:       make([]uint64, c.numObservables),
+	}
+}
+
+// BatchResult carries 64 shots: bit s of Detectors[d] is detector d's event
+// in shot s, and likewise for Observables.
+type BatchResult struct {
+	Detectors   []uint64
+	Observables []uint64
+}
+
+// bernoulliMask returns a word whose bits are independently 1 with
+// probability p, using geometric skipping so the cost is proportional to
+// the number of set bits.
+func bernoulliMask(rng *rand.Rand, p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return ^uint64(0)
+	}
+	var m uint64
+	logq := math.Log1p(-p)
+	// Geometric jumps between successive set bits.
+	pos := 0
+	for {
+		u := rng.Float64()
+		skip := int(math.Log(1-u) / logq)
+		pos += skip
+		if pos >= 64 {
+			return m
+		}
+		m |= 1 << uint(pos)
+		pos++
+	}
+}
+
+// SampleBatch executes 64 shots and returns their detector and observable
+// words. The returned slices are freshly allocated.
+func (b *BatchFrameSampler) SampleBatch() BatchResult {
+	for i := range b.fx {
+		b.fx[i] = 0
+		b.fz[i] = 0
+	}
+	b.flips = b.flips[:0]
+	for i := range b.detectors {
+		b.detectors[i] = 0
+	}
+	for i := range b.obs {
+		b.obs[i] = 0
+	}
+	det := 0
+	for i := range b.c.Ops {
+		op := &b.c.Ops[i]
+		switch op.Code {
+		case OpH:
+			for _, q := range op.Targets {
+				b.fx[q], b.fz[q] = b.fz[q], b.fx[q]
+			}
+		case OpS, OpSDag:
+			for _, q := range op.Targets {
+				b.fz[q] ^= b.fx[q]
+			}
+		case OpX, OpY, OpZ, OpTick:
+			// Pauli gates commute with Pauli frames.
+		case OpCX:
+			for t := 0; t < len(op.Targets); t += 2 {
+				cq, tq := op.Targets[t], op.Targets[t+1]
+				b.fx[tq] ^= b.fx[cq]
+				b.fz[cq] ^= b.fz[tq]
+			}
+		case OpCZ:
+			for t := 0; t < len(op.Targets); t += 2 {
+				aq, bq := op.Targets[t], op.Targets[t+1]
+				b.fz[bq] ^= b.fx[aq]
+				b.fz[aq] ^= b.fx[bq]
+			}
+		case OpSwap:
+			for t := 0; t < len(op.Targets); t += 2 {
+				aq, bq := op.Targets[t], op.Targets[t+1]
+				b.fx[aq], b.fx[bq] = b.fx[bq], b.fx[aq]
+				b.fz[aq], b.fz[bq] = b.fz[bq], b.fz[aq]
+			}
+		case OpM:
+			p := op.Args[0]
+			for _, q := range op.Targets {
+				b.flips = append(b.flips, b.fx[q]^bernoulliMask(b.rng, p))
+			}
+		case OpMR:
+			p := op.Args[0]
+			for _, q := range op.Targets {
+				b.flips = append(b.flips, b.fx[q]^bernoulliMask(b.rng, p))
+				b.fx[q] = 0
+				b.fz[q] = 0
+			}
+		case OpR:
+			for _, q := range op.Targets {
+				b.fx[q] = 0
+				b.fz[q] = 0
+			}
+		case OpDepolarize1:
+			p := op.Args[0]
+			for _, q := range op.Targets {
+				b.applySparsePauli(q, bernoulliMask(b.rng, p))
+			}
+		case OpDepolarize2:
+			p := op.Args[0]
+			for t := 0; t < len(op.Targets); t += 2 {
+				events := bernoulliMask(b.rng, p)
+				for events != 0 {
+					bit := events & (-events)
+					events &^= bit
+					k := 1 + b.rng.Intn(15)
+					b.applyPauliCodeBit(op.Targets[t], k&3, bit)
+					b.applyPauliCodeBit(op.Targets[t+1], k>>2, bit)
+				}
+			}
+		case OpXError:
+			for _, q := range op.Targets {
+				b.fx[q] ^= bernoulliMask(b.rng, op.Args[0])
+			}
+		case OpYError:
+			for _, q := range op.Targets {
+				m := bernoulliMask(b.rng, op.Args[0])
+				b.fx[q] ^= m
+				b.fz[q] ^= m
+			}
+		case OpZError:
+			for _, q := range op.Targets {
+				b.fz[q] ^= bernoulliMask(b.rng, op.Args[0])
+			}
+		case OpPauliChannel1:
+			px, py, pz := op.Args[0], op.Args[1], op.Args[2]
+			total := px + py + pz
+			for _, q := range op.Targets {
+				events := bernoulliMask(b.rng, total)
+				for events != 0 {
+					bit := events & (-events)
+					events &^= bit
+					u := b.rng.Float64() * total
+					switch {
+					case u < px:
+						b.fx[q] ^= bit
+					case u < px+py:
+						b.fx[q] ^= bit
+						b.fz[q] ^= bit
+					default:
+						b.fz[q] ^= bit
+					}
+				}
+			}
+		case OpDetector:
+			var v uint64
+			for _, r := range op.Recs {
+				v ^= b.flips[len(b.flips)+r]
+			}
+			b.detectors[det] = v
+			det++
+		case OpObservable:
+			for _, r := range op.Recs {
+				b.obs[op.Index] ^= b.flips[len(b.flips)+r]
+			}
+		}
+	}
+	return BatchResult{
+		Detectors:   append([]uint64(nil), b.detectors...),
+		Observables: append([]uint64(nil), b.obs...),
+	}
+}
+
+// applySparsePauli XORs a uniformly random non-identity Pauli into the
+// frame at q for each set bit of the event mask.
+func (b *BatchFrameSampler) applySparsePauli(q int, events uint64) {
+	for events != 0 {
+		bit := events & (-events)
+		events &^= bit
+		switch b.rng.Intn(3) {
+		case 0:
+			b.fx[q] ^= bit
+		case 1:
+			b.fx[q] ^= bit
+			b.fz[q] ^= bit
+		default:
+			b.fz[q] ^= bit
+		}
+	}
+}
+
+// applyPauliCodeBit XORs Pauli code (0=I 1=X 2=Y 3=Z) into shot bit `bit`
+// of qubit q's frame.
+func (b *BatchFrameSampler) applyPauliCodeBit(q, code int, bit uint64) {
+	switch code {
+	case 1:
+		b.fx[q] ^= bit
+	case 2:
+		b.fx[q] ^= bit
+		b.fz[q] ^= bit
+	case 3:
+		b.fz[q] ^= bit
+	}
+}

@@ -1,0 +1,280 @@
+// Package stabsim provides a noisy Clifford-circuit Monte Carlo engine, the
+// fast simulation tier HetArch uses for module-level evaluation (the role the
+// paper delegates to the Stim package).
+//
+// A Circuit is a sequence of Clifford operations, Pauli noise channels,
+// measurements, and annotations (DETECTOR / OBSERVABLE) referencing earlier
+// measurement records. Two execution backends are provided:
+//
+//   - FrameSampler: propagates a Pauli frame (error difference relative to a
+//     noiseless reference execution) through the circuit. Cost per shot is
+//     linear in circuit size, independent of qubit count beyond bit storage.
+//     This is what makes 10⁴+-shot Monte Carlo over hundreds of qubits cheap.
+//   - TableauRunner: exact stabilizer execution via the Aaronson–Gottesman
+//     tableau with noise sampled as explicit Pauli injections. Quadratically
+//     slower, used to validate the frame sampler and for exact small runs.
+//
+// Both require valid circuits: every DETECTOR must reference a measurement
+// set whose parity is deterministic in the absence of noise (the standard
+// detector contract).
+package stabsim
+
+import "fmt"
+
+// OpCode enumerates circuit operations.
+type OpCode int
+
+// Operation codes. Gate codes conjugate the Pauli frame; noise codes sample
+// errors; M/MR/R interact with the measurement record; Detector and
+// Observable are annotations over previous records.
+const (
+	OpH OpCode = iota
+	OpS
+	OpSDag
+	OpX
+	OpY
+	OpZ
+	OpCX
+	OpCZ
+	OpSwap
+	OpM  // measure Z
+	OpMR // measure Z then reset to |0⟩
+	OpR  // reset to |0⟩
+	OpDepolarize1
+	OpDepolarize2
+	OpXError
+	OpYError
+	OpZError
+	OpPauliChannel1 // probabilities (px, py, pz)
+	OpDetector
+	OpObservable
+	OpTick
+)
+
+// Op is one circuit instruction.
+type Op struct {
+	Code    OpCode
+	Targets []int     // qubits (pairs flattened for 2q ops)
+	Args    []float64 // noise probabilities
+	Recs    []int     // relative measurement refs (−1 = most recent) for Detector/Observable
+	Index   int       // observable index for OpObservable
+}
+
+// Circuit is an immutable-once-built instruction sequence over N qubits.
+type Circuit struct {
+	N   int
+	Ops []Op
+
+	numMeasurements int
+	numDetectors    int
+	numObservables  int
+}
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit {
+	if n <= 0 {
+		panic("stabsim: circuit needs n > 0")
+	}
+	return &Circuit{N: n}
+}
+
+// NumMeasurements returns the total number of measurement records produced.
+func (c *Circuit) NumMeasurements() int { return c.numMeasurements }
+
+// NumDetectors returns the number of DETECTOR annotations.
+func (c *Circuit) NumDetectors() int { return c.numDetectors }
+
+// NumObservables returns the number of distinct observable indices (max+1).
+func (c *Circuit) NumObservables() int { return c.numObservables }
+
+func (c *Circuit) checkQubits(qs ...int) {
+	for _, q := range qs {
+		if q < 0 || q >= c.N {
+			panic(fmt.Sprintf("stabsim: qubit %d out of range [0,%d)", q, c.N))
+		}
+	}
+}
+
+func (c *Circuit) gate1(code OpCode, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	c.Ops = append(c.Ops, Op{Code: code, Targets: append([]int(nil), qs...)})
+	return c
+}
+
+func (c *Circuit) gate2(code OpCode, pairs ...int) *Circuit {
+	if len(pairs)%2 != 0 {
+		panic("stabsim: two-qubit gate needs an even number of targets")
+	}
+	c.checkQubits(pairs...)
+	for i := 0; i < len(pairs); i += 2 {
+		if pairs[i] == pairs[i+1] {
+			panic("stabsim: two-qubit gate with identical targets")
+		}
+	}
+	c.Ops = append(c.Ops, Op{Code: code, Targets: append([]int(nil), pairs...)})
+	return c
+}
+
+// H appends Hadamards on the given qubits.
+func (c *Circuit) H(qs ...int) *Circuit { return c.gate1(OpH, qs...) }
+
+// S appends phase gates.
+func (c *Circuit) S(qs ...int) *Circuit { return c.gate1(OpS, qs...) }
+
+// SDag appends inverse phase gates.
+func (c *Circuit) SDag(qs ...int) *Circuit { return c.gate1(OpSDag, qs...) }
+
+// X appends Pauli X gates.
+func (c *Circuit) X(qs ...int) *Circuit { return c.gate1(OpX, qs...) }
+
+// Y appends Pauli Y gates.
+func (c *Circuit) Y(qs ...int) *Circuit { return c.gate1(OpY, qs...) }
+
+// Z appends Pauli Z gates.
+func (c *Circuit) Z(qs ...int) *Circuit { return c.gate1(OpZ, qs...) }
+
+// CX appends CNOTs on (control, target) pairs.
+func (c *Circuit) CX(pairs ...int) *Circuit { return c.gate2(OpCX, pairs...) }
+
+// CZ appends controlled-Z gates on pairs.
+func (c *Circuit) CZ(pairs ...int) *Circuit { return c.gate2(OpCZ, pairs...) }
+
+// Swap appends SWAP gates on pairs.
+func (c *Circuit) Swap(pairs ...int) *Circuit { return c.gate2(OpSwap, pairs...) }
+
+// M appends noiseless Z measurements, one record per qubit in order.
+func (c *Circuit) M(qs ...int) *Circuit { return c.MFlip(0, qs...) }
+
+// MFlip appends Z measurements whose classical outcome flips with
+// probability p (readout error), one record per qubit in order.
+func (c *Circuit) MFlip(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	c.Ops = append(c.Ops, Op{Code: OpM, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	c.numMeasurements += len(qs)
+	return c
+}
+
+// MR appends measure-and-reset operations with flip probability p.
+func (c *Circuit) MR(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	c.Ops = append(c.Ops, Op{Code: OpMR, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	c.numMeasurements += len(qs)
+	return c
+}
+
+// R appends resets to |0⟩.
+func (c *Circuit) R(qs ...int) *Circuit { return c.gate1(OpR, qs...) }
+
+// Depolarize1 appends single-qubit depolarizing noise with probability p.
+func (c *Circuit) Depolarize1(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	if p > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpDepolarize1, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	}
+	return c
+}
+
+// Depolarize2 appends two-qubit depolarizing noise on pairs.
+func (c *Circuit) Depolarize2(p float64, pairs ...int) *Circuit {
+	if len(pairs)%2 != 0 {
+		panic("stabsim: Depolarize2 needs pairs")
+	}
+	c.checkQubits(pairs...)
+	if p > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpDepolarize2, Targets: append([]int(nil), pairs...), Args: []float64{p}})
+	}
+	return c
+}
+
+// XError appends X errors with probability p.
+func (c *Circuit) XError(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	if p > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpXError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	}
+	return c
+}
+
+// YError appends Y errors with probability p.
+func (c *Circuit) YError(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	if p > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpYError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	}
+	return c
+}
+
+// ZError appends Z errors with probability p.
+func (c *Circuit) ZError(p float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	if p > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpZError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	}
+	return c
+}
+
+// PauliChannel1 appends an asymmetric Pauli channel (px, py, pz).
+func (c *Circuit) PauliChannel1(px, py, pz float64, qs ...int) *Circuit {
+	c.checkQubits(qs...)
+	if px+py+pz > 1 {
+		panic("stabsim: PauliChannel1 probabilities exceed 1")
+	}
+	if px > 0 || py > 0 || pz > 0 {
+		c.Ops = append(c.Ops, Op{Code: OpPauliChannel1, Targets: append([]int(nil), qs...), Args: []float64{px, py, pz}})
+	}
+	return c
+}
+
+// Detector appends a detector over the given relative measurement records
+// (−1 is the most recent measurement at this point in the circuit).
+func (c *Circuit) Detector(recs ...int) *Circuit {
+	c.checkRecs(recs)
+	c.Ops = append(c.Ops, Op{Code: OpDetector, Recs: append([]int(nil), recs...)})
+	c.numDetectors++
+	return c
+}
+
+// Observable XORs the given relative records into logical observable idx.
+func (c *Circuit) Observable(idx int, recs ...int) *Circuit {
+	if idx < 0 {
+		panic("stabsim: negative observable index")
+	}
+	c.checkRecs(recs)
+	c.Ops = append(c.Ops, Op{Code: OpObservable, Recs: append([]int(nil), recs...), Index: idx})
+	if idx+1 > c.numObservables {
+		c.numObservables = idx + 1
+	}
+	return c
+}
+
+// Tick appends a no-op timing marker.
+func (c *Circuit) Tick() *Circuit {
+	c.Ops = append(c.Ops, Op{Code: OpTick})
+	return c
+}
+
+func (c *Circuit) checkRecs(recs []int) {
+	if len(recs) == 0 {
+		panic("stabsim: annotation needs at least one record")
+	}
+	for _, r := range recs {
+		if r >= 0 || -r > c.numMeasurements {
+			panic(fmt.Sprintf("stabsim: record ref %d invalid with %d measurements so far", r, c.numMeasurements))
+		}
+	}
+}
+
+// Append concatenates the ops of other onto c. Both must have the same qubit
+// count; other's relative record refs remain valid because they are relative.
+func (c *Circuit) Append(other *Circuit) *Circuit {
+	if other.N != c.N {
+		panic("stabsim: Append qubit count mismatch")
+	}
+	c.Ops = append(c.Ops, other.Ops...)
+	c.numMeasurements += other.numMeasurements
+	c.numDetectors += other.numDetectors
+	if other.numObservables > c.numObservables {
+		c.numObservables = other.numObservables
+	}
+	return c
+}

@@ -1,0 +1,190 @@
+package stabsim
+
+// Cross-validation between the two exact simulation tiers: the stabilizer
+// tableau and the density-matrix simulator must agree on every Clifford
+// circuit. This pins down the gate conventions (qubit ordering, CX
+// direction, S phase) shared by the whole stack.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetarch/internal/densmat"
+	"hetarch/internal/linalg"
+	"hetarch/internal/pauli"
+)
+
+type cliffordOp struct {
+	kind int // 0 H, 1 S, 2 CX, 3 CZ, 4 SWAP, 5 X
+	a, b int
+}
+
+func randomCliffordCircuit(rng *rand.Rand, n, depth int) []cliffordOp {
+	ops := make([]cliffordOp, 0, depth)
+	for i := 0; i < depth; i++ {
+		k := rng.Intn(6)
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		for b == a {
+			b = rng.Intn(n)
+		}
+		ops = append(ops, cliffordOp{kind: k, a: a, b: b})
+	}
+	return ops
+}
+
+func applyToTableau(tb *pauli.Tableau, ops []cliffordOp) {
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			tb.H(o.a)
+		case 1:
+			tb.S(o.a)
+		case 2:
+			tb.CX(o.a, o.b)
+		case 3:
+			tb.CZ(o.a, o.b)
+		case 4:
+			tb.SWAP(o.a, o.b)
+		case 5:
+			tb.X(o.a)
+		}
+	}
+}
+
+func applyToDensmat(d *densmat.DensityMatrix, ops []cliffordOp) {
+	for _, o := range ops {
+		switch o.kind {
+		case 0:
+			d.ApplyUnitary(linalg.Hadamard(), o.a)
+		case 1:
+			d.ApplyUnitary(linalg.SGate(), o.a)
+		case 2:
+			d.ApplyUnitary(linalg.CNOT(), o.a, o.b)
+		case 3:
+			d.ApplyUnitary(linalg.CZ(), o.a, o.b)
+		case 4:
+			d.ApplyUnitary(linalg.SWAP(), o.a, o.b)
+		case 5:
+			d.ApplyUnitary(linalg.PauliX(), o.a)
+		}
+	}
+}
+
+// TestTableauMatchesDensityMatrixProbabilities compares single-qubit Z
+// expectation values: the tableau's {-1, 0, +1} trichotomy must match the
+// density matrix's exact probabilities.
+func TestTableauMatchesDensityMatrixProbabilities(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		ops := randomCliffordCircuit(rng, n, 25)
+
+		tb := pauli.NewTableau(n)
+		applyToTableau(tb, ops)
+		d := densmat.New(n)
+		applyToDensmat(d, ops)
+
+		for q := 0; q < n; q++ {
+			p0 := d.Prob(q, 0)
+			switch tb.ExpectationZ(q) {
+			case 1:
+				if math.Abs(p0-1) > 1e-9 {
+					return false
+				}
+			case -1:
+				if math.Abs(p0) > 1e-9 {
+					return false
+				}
+			default: // random
+				if math.Abs(p0-0.5) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTableauStabilizersMatchDensityMatrix verifies that every stabilizer
+// generator the tableau reports has expectation +1 in the density matrix.
+func TestTableauStabilizersMatchDensityMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3
+		ops := randomCliffordCircuit(rng, n, 20)
+
+		tb := pauli.NewTableau(n)
+		applyToTableau(tb, ops)
+		d := densmat.New(n)
+		applyToDensmat(d, ops)
+
+		for i := 0; i < n; i++ {
+			row := tb.StabilizerRow(i)
+			letters := make([]byte, n)
+			for q := 0; q < n; q++ {
+				letters[q] = row.LetterAt(q)
+			}
+			exp := d.ExpectationPauli(string(letters))
+			want := float64(row.Sign())
+			if math.Abs(exp-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeasurementStatisticsMatch compares sampled measurement distributions
+// of a fixed entangling circuit across the two simulators.
+func TestMeasurementStatisticsMatch(t *testing.T) {
+	n := 3
+	build := func() []cliffordOp {
+		return []cliffordOp{
+			{kind: 0, a: 0, b: 1}, // H 0
+			{kind: 2, a: 0, b: 1}, // CX 0->1
+			{kind: 1, a: 1, b: 0}, // S 1
+			{kind: 0, a: 1, b: 0}, // H 1
+			{kind: 2, a: 1, b: 2}, // CX 1->2
+		}
+	}
+	shots := 6000
+	rngT := rand.New(rand.NewSource(7))
+	countsT := map[int]int{}
+	for s := 0; s < shots; s++ {
+		tb := pauli.NewTableau(n)
+		applyToTableau(tb, build())
+		key := 0
+		for q := 0; q < n; q++ {
+			out, _ := tb.MeasureZ(q, rngT)
+			key = key<<1 | out
+		}
+		countsT[key]++
+	}
+	rngD := rand.New(rand.NewSource(8))
+	countsD := map[int]int{}
+	for s := 0; s < shots; s++ {
+		d := densmat.New(n)
+		applyToDensmat(d, build())
+		key := 0
+		for q := 0; q < n; q++ {
+			key = key<<1 | d.Measure(q, rngD)
+		}
+		countsD[key]++
+	}
+	for key := 0; key < 1<<n; key++ {
+		ft := float64(countsT[key]) / float64(shots)
+		fd := float64(countsD[key]) / float64(shots)
+		if math.Abs(ft-fd) > 0.035 {
+			t.Fatalf("outcome %03b: tableau %.3f vs densmat %.3f", key, ft, fd)
+		}
+	}
+}

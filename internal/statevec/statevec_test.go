@@ -1,0 +1,197 @@
+package statevec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hetarch/internal/densmat"
+	"hetarch/internal/linalg"
+)
+
+const tol = 1e-10
+
+func TestGroundState(t *testing.T) {
+	s := New(3)
+	if s.NumQubits() != 3 || math.Abs(s.Prob(0, 0)-1) > tol {
+		t.Fatal("ground state wrong")
+	}
+}
+
+func TestBellState(t *testing.T) {
+	s := New(2)
+	s.H(0)
+	s.CX(0, 1)
+	if math.Abs(s.ExpectationPauli("XX")-1) > tol ||
+		math.Abs(s.ExpectationPauli("ZZ")-1) > tol ||
+		math.Abs(s.ExpectationPauli("YY")+1) > tol {
+		t.Fatal("Bell correlators wrong")
+	}
+	want := FromAmplitudes(densmat.BellPhiPlus())
+	if math.Abs(s.Fidelity(want)-1) > tol {
+		t.Fatal("Bell fidelity wrong")
+	}
+}
+
+func TestGHZLarge(t *testing.T) {
+	// 20-qubit CAT state: beyond the density-matrix tier's reach.
+	n := 20
+	s := GHZ(n)
+	allX := make([]byte, n)
+	allZ := make([]byte, n)
+	for i := range allX {
+		allX[i] = 'X'
+		allZ[i] = 'I'
+	}
+	allZ[0], allZ[1] = 'Z', 'Z'
+	if math.Abs(s.ExpectationPauli(string(allX))-1) > tol {
+		t.Fatal("GHZ should be stabilized by X^n")
+	}
+	if math.Abs(s.ExpectationPauli(string(allZ))-1) > tol {
+		t.Fatal("GHZ should be stabilized by Z_0 Z_1")
+	}
+	if math.Abs(s.Prob(0, 0)-0.5) > tol {
+		t.Fatal("GHZ marginal wrong")
+	}
+}
+
+func TestMeasureCollapse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		s := GHZ(4)
+		first := s.Measure(0, rng)
+		for q := 1; q < 4; q++ {
+			if s.Measure(q, rng) != first {
+				t.Fatal("GHZ measurements must agree")
+			}
+		}
+	}
+}
+
+func TestNonAdjacentApply2(t *testing.T) {
+	s := New(4)
+	s.X(3)
+	s.CX(3, 0)
+	if math.Abs(s.Prob(0, 1)-1) > tol || math.Abs(s.Prob(3, 1)-1) > tol {
+		t.Fatal("CX(3,0) wrong")
+	}
+}
+
+func TestMatchesDensityMatrixOnRandomCliffords(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		sv := New(n)
+		dm := densmat.New(n)
+		for i := 0; i < 25; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				q := rng.Intn(n)
+				sv.H(q)
+				dm.ApplyUnitary(linalg.Hadamard(), q)
+			case 1:
+				q := rng.Intn(n)
+				sv.S(q)
+				dm.ApplyUnitary(linalg.SGate(), q)
+			case 2:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				sv.CX(a, b)
+				dm.ApplyUnitary(linalg.CNOT(), a, b)
+			default:
+				a, b := rng.Intn(n), rng.Intn(n)
+				if a == b {
+					continue
+				}
+				sv.CZ(a, b)
+				dm.ApplyUnitary(linalg.CZ(), a, b)
+			}
+		}
+		for q := 0; q < n; q++ {
+			if math.Abs(sv.Prob(q, 0)-dm.Prob(q, 0)) > 1e-9 {
+				return false
+			}
+		}
+		// Full-state check: fidelity of dm with the pure sv state is 1.
+		return math.Abs(dm.FidelityPure(sv.Amplitudes())-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyNormPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := New(5)
+		for i := 0; i < 30; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				s.Apply1(linalg.RX(rng.Float64()*6), rng.Intn(5))
+			case 1:
+				s.Apply1(linalg.RZ(rng.Float64()*6), rng.Intn(5))
+			default:
+				a, b := rng.Intn(5), rng.Intn(5)
+				if a != b {
+					s.Apply2(linalg.ISWAP(), a, b)
+				}
+			}
+		}
+		var norm float64
+		for _, a := range s.Amplitudes() {
+			norm += real(a)*real(a) + imag(a)*imag(a)
+		}
+		return math.Abs(norm-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(0) },
+		func() { New(2).Apply1(linalg.CNOT(), 0) },
+		func() { New(2).Apply2(linalg.Hadamard(), 0, 1) },
+		func() { New(2).Apply2(linalg.CNOT(), 1, 1) },
+		func() { New(2).ExpectationPauli("X") },
+		func() { FromAmplitudes(make([]complex128, 3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSwapGate(t *testing.T) {
+	s := New(3)
+	s.X(0)
+	s.Swap(0, 2)
+	if math.Abs(s.Prob(2, 1)-1) > tol || math.Abs(s.Prob(0, 0)-1) > tol {
+		t.Fatal("Swap failed")
+	}
+}
+
+func TestProjectRenormalizes(t *testing.T) {
+	s := GHZ(3)
+	s.Project(0, 1)
+	if math.Abs(s.Prob(1, 1)-1) > tol {
+		t.Fatal("projection should collapse partners")
+	}
+	var norm float64
+	for _, a := range s.Amplitudes() {
+		norm += real(a)*real(a) + imag(a)*imag(a)
+	}
+	if math.Abs(norm-1) > tol {
+		t.Fatal("not renormalized")
+	}
+}

@@ -1,0 +1,214 @@
+package surface
+
+import (
+	"math/rand"
+	"testing"
+
+	"hetarch/internal/stabsim"
+)
+
+func TestDetectorContractHolds(t *testing.T) {
+	for _, basis := range []byte{'Z', 'X'} {
+		for _, d := range []int{2, 3} {
+			p := DefaultParams(d)
+			p.Rounds = 2
+			p.Basis = basis
+			e, err := New(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := stabsim.NewTableauRunner(e.Circuit, rand.New(rand.NewSource(1)))
+			if !tr.VerifyDetectorsDeterministic(4) {
+				t.Fatalf("d=%d basis=%c: detectors are not deterministic", d, basis)
+			}
+		}
+	}
+}
+
+func TestNoiselessRunHasNoErrors(t *testing.T) {
+	p := DefaultParams(3)
+	p.P2 = 0
+	p.TcdMicros = 1e12
+	p.TcaMicros = 1e12
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(200, 7)
+	if res.LogicalErrors != 0 {
+		t.Fatalf("noiseless run produced %d logical errors", res.LogicalErrors)
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	p := DefaultParams(3)
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d=3: 4 Z plaquettes, layers = rounds+1 = 4 -> 16 nodes.
+	if e.Graph.NumNodes != 16 {
+		t.Fatalf("graph nodes %d", e.Graph.NumNodes)
+	}
+	if err := e.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every data qubit contributes one space edge per layer: 9*4 = 36,
+	// plus time edges 4 stabs * 3 = 12.
+	if got := len(e.Graph.Edges); got != 36+12 {
+		t.Fatalf("edge count %d", got)
+	}
+}
+
+func TestDetectorCountsMatchGraph(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		p := DefaultParams(d)
+		e, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.Circuit.NumDetectors() != e.Graph.NumNodes {
+			t.Fatalf("d=%d: %d detectors vs %d graph nodes", d, e.Circuit.NumDetectors(), e.Graph.NumNodes)
+		}
+	}
+}
+
+func TestLogicalErrorRateScalesWithNoise(t *testing.T) {
+	quiet := DefaultParams(3)
+	quiet.P2 = 0.001
+	noisy := DefaultParams(3)
+	noisy.P2 = 0.05
+	eq, err := New(quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := New(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots := 3000
+	rq := eq.Run(shots, 5)
+	rn := en.Run(shots, 5)
+	if rq.LogicalErrors >= rn.LogicalErrors {
+		t.Fatalf("noise scaling broken: %d (p=0.1%%) vs %d (p=5%%)", rq.LogicalErrors, rn.LogicalErrors)
+	}
+}
+
+func TestBelowThresholdDistanceHelps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	// With mild noise, d=5 must beat d=3 (below threshold).
+	mk := func(d int) Result {
+		p := DefaultParams(d)
+		p.P2 = 0.002
+		p.TcdMicros = 500
+		p.TcaMicros = 500
+		e, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(4000, 11)
+	}
+	r3 := mk(3)
+	r5 := mk(5)
+	if r5.ShotErrorRate() >= r3.ShotErrorRate() {
+		t.Fatalf("d=5 (%v) should beat d=3 (%v) below threshold", r5.ShotErrorRate(), r3.ShotErrorRate())
+	}
+}
+
+func TestDataCoherenceMattersMoreThanAncilla(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo")
+	}
+	// Paper Fig. 6: boosting T_CD reduces the logical error rate more than
+	// boosting T_CA by the same factor.
+	base := DefaultParams(3)
+	base.Rounds = 3
+	shots := 6000
+
+	dataBoost := base
+	dataBoost.TcdMicros = 500
+	ancBoost := base
+	ancBoost.TcaMicros = 500
+
+	run := func(p Params) float64 {
+		e, err := New(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(shots, 3).ShotErrorRate()
+	}
+	d := run(dataBoost)
+	a := run(ancBoost)
+	if d >= a {
+		t.Fatalf("data-coherence boost (%v) should beat ancilla boost (%v)", d, a)
+	}
+}
+
+func TestPerCycleConversion(t *testing.T) {
+	r := Result{Shots: 1000, LogicalErrors: 100, Rounds: 5}
+	pc := r.PerCycleErrorRate()
+	if pc <= 0 || pc >= r.ShotErrorRate() {
+		t.Fatalf("per-cycle rate %v out of range", pc)
+	}
+	sat := Result{Shots: 10, LogicalErrors: 5, Rounds: 5}
+	if sat.PerCycleErrorRate() != 0.5 {
+		t.Fatal("saturated rate should clamp to 0.5")
+	}
+}
+
+func TestBadParams(t *testing.T) {
+	if _, err := New(Params{Distance: 1, Basis: 'Z'}); err == nil {
+		t.Fatal("expected error for d=1")
+	}
+	p := DefaultParams(3)
+	p.Basis = 'Q'
+	if _, err := New(p); err == nil {
+		t.Fatal("expected error for bad basis")
+	}
+}
+
+func TestXBasisExperimentRuns(t *testing.T) {
+	p := DefaultParams(3)
+	p.Basis = 'X'
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run(500, 9)
+	if res.Shots != 500 {
+		t.Fatal("run accounting wrong")
+	}
+}
+
+func TestRunParallelMatchesSerialStatistics(t *testing.T) {
+	p := DefaultParams(3)
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := e.Run(4000, 5).ShotErrorRate()
+	parallel := e.RunParallel(4000, 5, 4).ShotErrorRate()
+	if parallel < serial/2 || parallel > serial*2 {
+		t.Fatalf("parallel rate %v vs serial %v", parallel, serial)
+	}
+	// Deterministic for fixed (seed, workers).
+	again := e.RunParallel(4000, 5, 4).ShotErrorRate()
+	if again != parallel {
+		t.Fatal("parallel run not reproducible")
+	}
+}
+
+func TestRunParallelFallsBackForSmallJobs(t *testing.T) {
+	p := DefaultParams(2)
+	e, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := e.Run(50, 9)
+	b := e.RunParallel(50, 9, 8) // too small: must match Run exactly
+	if a.LogicalErrors != b.LogicalErrors {
+		t.Fatal("small-job fallback should be identical to Run")
+	}
+}

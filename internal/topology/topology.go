@@ -1,0 +1,276 @@
+// Package topology models device connectivity graphs and the SWAP-routing
+// cost of executing circuits on them. It provides the homogeneous
+// "sea-of-qubits" square-lattice baseline the paper compares against: a
+// lattice as large as needed, with a greedy placement and shortest-path SWAP
+// router standing in for an optimizing transpiler.
+package topology
+
+import "fmt"
+
+// Graph is an undirected connectivity graph over device sites.
+type Graph struct {
+	N   int
+	adj [][]int
+}
+
+// NewGraph returns an empty graph with n nodes.
+func NewGraph(n int) *Graph {
+	if n <= 0 {
+		panic("topology: graph needs n > 0")
+	}
+	return &Graph{N: n, adj: make([][]int, n)}
+}
+
+// AddEdge inserts an undirected edge.
+func (g *Graph) AddEdge(a, b int) {
+	if a < 0 || a >= g.N || b < 0 || b >= g.N || a == b {
+		panic(fmt.Sprintf("topology: bad edge (%d,%d)", a, b))
+	}
+	for _, x := range g.adj[a] {
+		if x == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Neighbors returns the adjacency list of node v (shared slice; do not
+// mutate).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// SquareLattice returns a w×h grid graph with nearest-neighbor edges; node
+// (r, c) has index r*w + c.
+func SquareLattice(w, h int) *Graph {
+	g := NewGraph(w * h)
+	for r := 0; r < h; r++ {
+		for c := 0; c < w; c++ {
+			v := r*w + c
+			if c+1 < w {
+				g.AddEdge(v, v+1)
+			}
+			if r+1 < h {
+				g.AddEdge(v, v+w)
+			}
+		}
+	}
+	return g
+}
+
+// Distances returns BFS hop counts from src to every node (-1 if
+// unreachable).
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDistances returns the full BFS distance matrix.
+func (g *Graph) AllPairsDistances() [][]int {
+	out := make([][]int, g.N)
+	for v := 0; v < g.N; v++ {
+		out[v] = g.Distances(v)
+	}
+	return out
+}
+
+// Interaction is one two-qubit operation between logical qubits.
+type Interaction struct{ A, B int }
+
+// RouteCost is the routing estimate of executing a sequence of two-qubit
+// interactions on a graph.
+type RouteCost struct {
+	Swaps     int // total SWAP insertions
+	Depth     int // sequential two-qubit layers including routing
+	TwoQubits int // total 2q gates executed, SWAPs count as 3 each
+}
+
+// RouteSequential estimates routing cost for a serial interaction sequence
+// under a dynamic placement: before each interaction the two logical qubits
+// are moved adjacent along a shortest path (each hop is one SWAP), updating
+// the placement as qubits move — the standard greedy SWAP router.
+//
+// placement maps logical qubit → site; it is mutated during routing (pass a
+// copy to preserve the input).
+func (g *Graph) RouteSequential(interactions []Interaction, placement []int) RouteCost {
+	site2logical := make([]int, g.N)
+	for i := range site2logical {
+		site2logical[i] = -1
+	}
+	for l, s := range placement {
+		if site2logical[s] != -1 {
+			panic("topology: two logical qubits share a site")
+		}
+		site2logical[s] = l
+	}
+	cost := RouteCost{}
+	for _, in := range interactions {
+		sa, sb := placement[in.A], placement[in.B]
+		path := g.shortestPath(sa, sb)
+		if path == nil {
+			panic("topology: disconnected interaction")
+		}
+		// Move A along the path until adjacent to B's current site.
+		for len(path) > 2 {
+			// swap occupant of path[0] and path[1]
+			s0, s1 := path[0], path[1]
+			l0, l1 := site2logical[s0], site2logical[s1]
+			site2logical[s0], site2logical[s1] = l1, l0
+			if l0 >= 0 {
+				placement[l0] = s1
+			}
+			if l1 >= 0 {
+				placement[l1] = s0
+			}
+			cost.Swaps++
+			cost.TwoQubits += 3
+			cost.Depth++
+			path = path[1:]
+		}
+		cost.TwoQubits++
+		cost.Depth++
+	}
+	return cost
+}
+
+// shortestPath returns a BFS path from a to b inclusive.
+func (g *Graph) shortestPath(a, b int) []int {
+	if a == b {
+		return []int{a}
+	}
+	prev := make([]int, g.N)
+	for i := range prev {
+		prev[i] = -2
+	}
+	prev[a] = -1
+	queue := []int{a}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.adj[v] {
+			if prev[w] == -2 {
+				prev[w] = v
+				if w == b {
+					var path []int
+					for x := b; x != -1; x = prev[x] {
+						path = append(path, x)
+					}
+					// reverse
+					for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+						path[i], path[j] = path[j], path[i]
+					}
+					return path
+				}
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// GreedyPlace maps logical qubits 0..k-1 onto lattice sites, placing the
+// most interaction-heavy qubits first at central sites and their partners
+// nearby — a lightweight stand-in for transpiler placement.
+func (g *Graph) GreedyPlace(k int, interactions []Interaction) []int {
+	if k > g.N {
+		panic("topology: more logical qubits than sites")
+	}
+	weight := make([]int, k)
+	for _, in := range interactions {
+		weight[in.A]++
+		weight[in.B]++
+	}
+	// Order logical qubits by descending interaction weight.
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < k; i++ {
+		for j := i; j > 0 && weight[order[j]] > weight[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	// Central site first: pick the node minimizing eccentricity-ish cost
+	// via total distance.
+	dm := g.AllPairsDistances()
+	center, best := 0, 1<<30
+	for v := 0; v < g.N; v++ {
+		sum := 0
+		for w := 0; w < g.N; w++ {
+			sum += dm[v][w]
+		}
+		if sum < best {
+			best = sum
+			center = v
+		}
+	}
+	placement := make([]int, k)
+	used := make([]bool, g.N)
+	for i, l := range order {
+		if i == 0 {
+			placement[l] = center
+			used[center] = true
+			continue
+		}
+		// Place near already-placed partners: minimize summed distance to
+		// placed interaction partners (fall back to distance to center).
+		bestSite, bestCost := -1, 1<<30
+		for s := 0; s < g.N; s++ {
+			if used[s] {
+				continue
+			}
+			cost := 0
+			linked := false
+			for _, in := range interactions {
+				var partner int
+				switch l {
+				case in.A:
+					partner = in.B
+				case in.B:
+					partner = in.A
+				default:
+					continue
+				}
+				// partner placed already?
+				placed := false
+				for j := 0; j < i; j++ {
+					if order[j] == partner {
+						placed = true
+						break
+					}
+				}
+				if placed {
+					cost += dm[s][placement[partner]]
+					linked = true
+				}
+			}
+			if !linked {
+				cost = dm[s][center]
+			}
+			if cost < bestCost {
+				bestCost = cost
+				bestSite = s
+			}
+		}
+		placement[l] = bestSite
+		used[bestSite] = true
+	}
+	return placement
+}

@@ -1,0 +1,82 @@
+package uec
+
+import "math"
+
+// Pseudothreshold finds the physical two-qubit error rate at which the
+// module's combined logical error rate equals the physical rate — the
+// break-even point below which encoding helps (Table 3's PT column).
+//
+// Monte Carlo estimates at very low physical rates are dominated by shot
+// noise, so instead of bisecting, the logical rate is sampled on a log-
+// spaced grid where statistics are solid and fitted with a power law
+// log(p_L) = a + b·log(p); the pseudothreshold is the solution of
+// p_L(p) = p. The storage-SWAP error scales with the sweep
+// (SwapError = P2/2, the DefaultParams ratio) and decoherence is disabled
+// so the logical rate is a pure function of the gate error.
+//
+// It returns ok=false when the fit never crosses break-even from below
+// (b ≤ 1, or the crossing falls outside the sampled decade range) — e.g.
+// the surface codes on the serial module, which the paper marks "—".
+func Pseudothreshold(base Params, shots int, seed int64) (pt float64, ok bool) {
+	combined := func(p2 float64) float64 {
+		total := 0.0
+		for _, basis := range []byte{'Z', 'X'} {
+			p := base
+			p.P2 = p2
+			p.SwapError = p2 / 2
+			p.Basis = basis
+			// Pure gate-error pseudothreshold: decoherence off.
+			p.TsMicros = 1e15
+			p.TcMicros = 1e15
+			e, err := New(p)
+			if err != nil {
+				panic(err)
+			}
+			total += e.Run(shots, seed).LogicalErrorRate()
+		}
+		return total
+	}
+
+	grid := []float64{0.003, 0.006, 0.012, 0.024, 0.048}
+	var xs, ys []float64
+	for _, p := range grid {
+		r := combined(p)
+		if r <= 0 {
+			continue // no statistics at this point
+		}
+		xs = append(xs, math.Log(p))
+		ys = append(ys, math.Log(r))
+	}
+	if len(xs) < 2 {
+		return 0, false
+	}
+	a, b := fitLine(xs, ys)
+	if b <= 1 {
+		return 0, false // logical rate does not fall faster than physical
+	}
+	// Solve a + b·log(p) = log(p)  =>  log(p) = a / (1 - b).
+	logPT := a / (1 - b)
+	pt = math.Exp(logPT)
+	// Reject extrapolations far outside the sampled decades: the power-law
+	// model is not trustworthy there (e.g. the Reed-Muller code's logical
+	// rate stays above break-even throughout the near-term regime).
+	if pt < 1e-5 || math.IsNaN(pt) || pt > 1 {
+		return 0, false
+	}
+	return pt, true
+}
+
+// fitLine returns the least-squares intercept and slope of y against x.
+func fitLine(xs, ys []float64) (intercept, slope float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	slope = (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept = (sy - slope*sx) / n
+	return intercept, slope
+}
