@@ -1,0 +1,112 @@
+// Command benchbaseline records the repository's performance baseline:
+// wall time and Monte Carlo throughput (shots/sec) of the quick-scale fig9
+// and table3 experiments, written as JSON to BENCH_baseline.json. Future
+// performance PRs rerun it and compare against the committed file to show a
+// trajectory instead of anecdotes.
+//
+// Usage:
+//
+//	go run ./cmd/benchbaseline [-o BENCH_baseline.json] [-seed N]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"hetarch/internal/experiments"
+	"hetarch/internal/obs"
+)
+
+// Entry is one measured experiment.
+type Entry struct {
+	Experiment  string  `json:"experiment"`
+	Scale       string  `json:"scale"`
+	Shots       int64   `json:"shots"`
+	WallSeconds float64 `json:"wall_seconds"`
+	ShotsPerSec float64 `json:"shots_per_sec"`
+}
+
+// Baseline is the file format.
+type Baseline struct {
+	RecordedAt string  `json:"recorded_at"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Entries    []Entry `json:"entries"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_baseline.json", "output file")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	sc := experiments.Quick()
+	runners := []struct {
+		name string
+		run  func()
+	}{
+		{"fig9", func() { experiments.Fig9(sc, *seed) }},
+		{"table3", func() { experiments.Table3(sc, *seed) }},
+	}
+
+	b := Baseline{
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+	}
+	for _, r := range runners {
+		// Warm shared caches (lookup tables) so the measurement reflects
+		// steady-state throughput, then count shots via the obs registry.
+		r.run()
+		before := shots()
+		start := time.Now()
+		r.run()
+		wall := time.Since(start).Seconds()
+		n := shots() - before
+		b.Entries = append(b.Entries, Entry{
+			Experiment:  r.name,
+			Scale:       "quick",
+			Shots:       n,
+			WallSeconds: round(wall),
+			ShotsPerSec: round(float64(n) / wall),
+		})
+		fmt.Fprintf(os.Stderr, "%s: %d shots in %.2fs (%.0f shots/sec)\n",
+			r.name, n, wall, float64(n)/wall)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+// shots totals every logical-shot counter, mirroring cmd/hetarch -progress.
+func shots() int64 {
+	return obs.Default.Snapshot().SumCounters(func(name string) bool {
+		return strings.HasSuffix(name, ".shots")
+	})
+}
+
+func round(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchbaseline:", err)
+	os.Exit(1)
+}

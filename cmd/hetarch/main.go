@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	hetarch <experiment> [-quick] [-seed N]
+//	hetarch <experiment> [-quick] [-seed N] [-json] [-metrics] [-progress]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
+//
+// Experiment results go to stdout; everything else — timing lines, the
+// -progress heartbeat, and the -metrics telemetry (counter snapshot plus
+// span tree) — goes to stderr, so `-json` output stays machine-parseable.
 package main
 
 import (
@@ -14,9 +19,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"hetarch/internal/experiments"
+	"hetarch/internal/obs"
 )
 
 func main() {
@@ -31,6 +40,10 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "reduced Monte Carlo effort (CI scale)")
 	seed := fs.Int64("seed", 1, "base RNG seed")
 	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
+	metrics := fs.Bool("metrics", false, "print telemetry (counter snapshot + span tree) to stderr after the run")
+	progress := fs.Bool("progress", false, "heartbeat on stderr with shots/sec and ETA")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
+	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if len(args) == 0 {
 		usage(fs)
 		return fmt.Errorf("missing experiment name")
@@ -42,6 +55,25 @@ func run(args []string) error {
 	sc := experiments.Full()
 	if *quick {
 		sc = experiments.Quick()
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *metrics {
+		obs.DefaultTracer.SetEnabled(true)
+	}
+	var hb *obs.Heartbeat
+	if *progress {
+		hb = obs.StartHeartbeat(os.Stderr, 2*time.Second, approxTotal(name, sc), totalShots)
 	}
 
 	emit := tablePrinter
@@ -65,23 +97,90 @@ func run(args []string) error {
 		"protocol": func() error { return experiments.ProtocolCheck(os.Stdout, *seed) },
 	}
 
+	runOne := func(n string) error {
+		sp := obs.Span(n)
+		defer sp.End()
+		return runners[n]()
+	}
+
+	var runErr error
 	if name == "all" {
 		order := []string{"devices", "cells", "fig3", "fig4", "fig6", "fig7", "fig9", "table3", "fig12", "table4", "dse", "devstudy", "capacity", "protocol"}
 		for _, n := range order {
 			start := time.Now()
-			if err := runners[n](); err != nil {
-				return fmt.Errorf("%s: %w", n, err)
+			if err := runOne(n); err != nil {
+				runErr = fmt.Errorf("%s: %w", n, err)
+				break
 			}
-			fmt.Printf("-- %s done in %v --\n\n", n, time.Since(start).Round(time.Millisecond))
+			// Timing is telemetry: keep it off stdout so -json output (and
+			// any piped table output) stays clean.
+			fmt.Fprintf(os.Stderr, "-- %s done in %v --\n", n, time.Since(start).Round(time.Millisecond))
 		}
-		return nil
-	}
-	r, ok := runners[name]
-	if !ok {
+	} else if _, ok := runners[name]; ok {
+		runErr = runOne(name)
+	} else {
 		usage(fs)
 		return fmt.Errorf("unknown experiment %q", name)
 	}
-	return r()
+	if hb != nil {
+		hb.Stop() // final summary line, before any telemetry output
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	if *metrics {
+		if err := emitTelemetry(os.Stderr, *asJSON); err != nil {
+			return err
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+	}
+	return nil
+}
+
+// totalShots aggregates every logical-shot counter (surface.shots,
+// uec.shots, uec.memory.shots, ...) for the progress heartbeat.
+func totalShots() int64 {
+	return obs.Default.Snapshot().SumCounters(func(name string) bool {
+		return strings.HasSuffix(name, ".shots")
+	})
+}
+
+// approxTotal estimates the experiment's total shots for the heartbeat ETA
+// ("all" and the non-shot-shaped runners report rate only).
+func approxTotal(name string, sc experiments.Scale) int64 {
+	return experiments.ApproxShots(name, sc)
+}
+
+// telemetry is the JSON shape emitted by -metrics under -json.
+type telemetry struct {
+	Metrics obs.Snapshot     `json:"metrics"`
+	Spans   []*obs.TraceSpan `json:"spans"`
+}
+
+// emitTelemetry renders the metric snapshot and span tree: an aligned text
+// table normally, a single JSON object when the run itself is JSON.
+func emitTelemetry(w *os.File, asJSON bool) error {
+	snap := obs.Default.Snapshot()
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(telemetry{Metrics: snap, Spans: obs.DefaultTracer.Roots()})
+	}
+	fmt.Fprintln(w, "== telemetry ==")
+	snap.WriteTable(w)
+	obs.DefaultTracer.Render(w)
+	return nil
 }
 
 func tablePrinter(build func() *experiments.Table) func() error {
@@ -100,6 +199,6 @@ func tableJSON(build func() *experiments.Table) func() error {
 }
 
 func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: hetarch <devices|cells|fig3|fig4|fig6|fig7|fig9|table3|fig12|table4|dse|devstudy|capacity|protocol|all> [-quick] [-seed N]")
+	fmt.Fprintln(os.Stderr, "usage: hetarch <devices|cells|fig3|fig4|fig6|fig7|fig9|table3|fig12|table4|dse|devstudy|capacity|protocol|all> [flags]")
 	fs.PrintDefaults()
 }

@@ -13,6 +13,17 @@ import (
 	"sync"
 
 	"hetarch/internal/cell"
+	"hetarch/internal/obs"
+)
+
+// Process-wide characterization-cache telemetry. Every Characterizer
+// instance mirrors its accounting here so the CLI's -metrics snapshot shows
+// the paper's cost-hierarchy cache working regardless of which experiment
+// constructed the cache.
+var (
+	charCalls  = obs.C("core.characterize.calls")
+	charHits   = obs.C("core.characterize.hits")
+	charMisses = obs.C("core.characterize.misses")
 )
 
 // Module is a node in the hardware hierarchy: it executes a subroutine using
@@ -128,7 +139,9 @@ type Characterizer struct {
 	mu    sync.Mutex
 	cache map[string]*cell.Characterization
 
-	calls, hits int
+	// Per-instance accounting (obs counters so reads need no lock); the
+	// same increments are mirrored to the process-wide registry above.
+	calls, hits obs.Counter
 }
 
 // NewCharacterizer returns an empty cache.
@@ -139,14 +152,17 @@ func NewCharacterizer() *Characterizer {
 // Characterize returns the memoized characterization for key, running fn on
 // a miss. Keys must uniquely encode the cell's device parameters.
 func (ch *Characterizer) Characterize(key string, c *cell.Cell, fn func(*cell.Cell) (*cell.Characterization, error)) (*cell.Characterization, error) {
+	ch.calls.Inc()
+	charCalls.Inc()
 	ch.mu.Lock()
-	ch.calls++
 	if got, ok := ch.cache[key]; ok {
-		ch.hits++
 		ch.mu.Unlock()
+		ch.hits.Inc()
+		charHits.Inc()
 		return got, nil
 	}
 	ch.mu.Unlock()
+	charMisses.Inc()
 	res, err := fn(c)
 	if err != nil {
 		return nil, err
@@ -158,10 +174,10 @@ func (ch *Characterizer) Characterize(key string, c *cell.Cell, fn func(*cell.Ce
 }
 
 // Stats reports (calls, hits) — the DSE speedup bench uses the hit rate.
+// It is a shim over the instance's obs counters; the process-wide totals
+// live in the obs registry as core.characterize.{calls,hits,misses}.
 func (ch *Characterizer) Stats() (calls, hits int) {
-	ch.mu.Lock()
-	defer ch.mu.Unlock()
-	return ch.calls, ch.hits
+	return int(ch.calls.Value()), int(ch.hits.Value())
 }
 
 // ErrorBudget composes a module's logical error phenomenologically:

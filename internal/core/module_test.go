@@ -8,6 +8,7 @@ import (
 
 	"hetarch/internal/cell"
 	"hetarch/internal/device"
+	"hetarch/internal/obs"
 )
 
 func testRegister() *cell.Cell {
@@ -217,5 +218,61 @@ func TestCharacterizerConcurrentAccess(t *testing.T) {
 	}
 	if hits < calls-3*8 { // at most a few misses per distinct key across racing goroutines
 		t.Fatalf("hits = %d of %d", hits, calls)
+	}
+}
+
+func TestCharacterizerHitMissAccounting(t *testing.T) {
+	// Two instances must account independently (Stats is per-instance even
+	// though totals are mirrored to the process-wide obs registry).
+	a := NewCharacterizer()
+	b := NewCharacterizer()
+	fn := func(*cell.Cell) (*cell.Characterization, error) {
+		return &cell.Characterization{}, nil
+	}
+
+	globalCalls0 := obs.C("core.characterize.calls").Value()
+	globalHits0 := obs.C("core.characterize.hits").Value()
+	globalMisses0 := obs.C("core.characterize.misses").Value()
+
+	// a: miss, hit, hit on one key; miss on a second key.
+	for i := 0; i < 3; i++ {
+		if _, err := a.Characterize("k1", nil, fn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.Characterize("k2", nil, fn); err != nil {
+		t.Fatal(err)
+	}
+	// b: a single miss; must not see a's cache.
+	if _, err := b.Characterize("k1", nil, fn); err != nil {
+		t.Fatal(err)
+	}
+
+	if calls, hits := a.Stats(); calls != 4 || hits != 2 {
+		t.Fatalf("a stats (%d,%d), want (4,2)", calls, hits)
+	}
+	if calls, hits := b.Stats(); calls != 1 || hits != 0 {
+		t.Fatalf("b stats (%d,%d), want (1,0)", calls, hits)
+	}
+
+	if d := obs.C("core.characterize.calls").Value() - globalCalls0; d != 5 {
+		t.Fatalf("global calls delta %d, want 5", d)
+	}
+	if d := obs.C("core.characterize.hits").Value() - globalHits0; d != 2 {
+		t.Fatalf("global hits delta %d, want 2", d)
+	}
+	if d := obs.C("core.characterize.misses").Value() - globalMisses0; d != 3 {
+		t.Fatalf("global misses delta %d, want 3", d)
+	}
+}
+
+func TestCharacterizerErrorCountsAsMiss(t *testing.T) {
+	ch := NewCharacterizer()
+	boom := errors.New("boom")
+	_, _ = ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		return nil, boom
+	})
+	if calls, hits := ch.Stats(); calls != 1 || hits != 0 {
+		t.Fatalf("stats (%d,%d) after error, want (1,0)", calls, hits)
 	}
 }

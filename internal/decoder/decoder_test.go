@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/qec"
 )
 
@@ -285,4 +286,30 @@ func TestLookupPanicsOnBadSize(t *testing.T) {
 		}
 	}()
 	NewLookup(65, nil)
+}
+
+func TestCachedLookupSharesTables(t *testing.T) {
+	// Use a mask set no other test constructs so cache counters are
+	// attributable despite shared global state.
+	masks := []uint64{1<<0 | 1<<1, 1<<1 | 1<<2, 1<<2 | 1<<3 | 1<<4}
+	hits0 := obs.C("decoder.lookup_cache.hits").Value()
+	misses0 := obs.C("decoder.lookup_cache.misses").Value()
+	a := CachedLookup(5, masks)
+	b := CachedLookup(5, append([]uint64(nil), masks...))
+	if a != b {
+		t.Fatal("equal mask sets must share one table")
+	}
+	if obs.C("decoder.lookup_cache.misses").Value()-misses0 != 1 {
+		t.Fatal("first build must count one miss")
+	}
+	if obs.C("decoder.lookup_cache.hits").Value()-hits0 != 1 {
+		t.Fatal("rebuild must count one hit")
+	}
+	// Distinct mask sets get distinct tables.
+	if other := CachedLookup(5, masks[:2]); other == a {
+		t.Fatal("different mask sets must not collide")
+	}
+	if got, want := a.Decode(a.Syndrome(1)), uint64(1); got != want {
+		t.Fatalf("shared table misdecodes: %b", got)
+	}
 }

@@ -7,7 +7,14 @@ package decoder
 import (
 	"fmt"
 	"math/bits"
+
+	"hetarch/internal/obs"
 )
+
+// lookupDecodes counts Lookup.Decode invocations across all tables — one
+// atomic add per call, negligible against the syndrome computation it
+// follows.
+var lookupDecodes = obs.C("decoder.lookup.decodes")
 
 // Lookup is a minimum-weight coset decoder for one error sector of a CSS
 // code: it maps a syndrome (bitmask over the opposite-type stabilizers) to
@@ -59,6 +66,7 @@ func (l *Lookup) Syndrome(errMask uint64) uint64 {
 
 // Decode returns the minimum-weight correction support for the syndrome.
 func (l *Lookup) Decode(syndrome uint64) uint64 {
+	lookupDecodes.Inc()
 	c, ok := l.table[syndrome]
 	if !ok {
 		// Unreachable for valid codes; return identity defensively.

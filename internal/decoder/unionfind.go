@@ -1,6 +1,14 @@
 package decoder
 
-import "fmt"
+import (
+	"fmt"
+
+	"hetarch/internal/obs"
+)
+
+// ufDecodes counts UnionFind.Decode invocations; decodes cost microseconds
+// against this one atomic add.
+var ufDecodes = obs.C("decoder.unionfind.decodes")
 
 // Boundary is the virtual node index representing the open boundary of a
 // matching graph. Defect chains may terminate on it at the cost of the
@@ -112,6 +120,7 @@ func (u *UnionFind) union(a, b int) int {
 // Decode takes the defect pattern (one bool per node) and returns the
 // predicted logical observable flips of the minimum-ish-weight correction.
 func (u *UnionFind) Decode(defects []bool) uint64 {
+	ufDecodes.Inc()
 	if len(defects) != u.g.NumNodes {
 		panic("decoder: defect vector length mismatch")
 	}

@@ -28,6 +28,43 @@ func Quick() Scale {
 	return Scale{Shots: 1500, DistillHorizon: 5000, MaxDistance: 5}
 }
 
+// ApproxShots estimates the total Monte Carlo shots an experiment will
+// sample at the given scale — the denominator the -progress heartbeat uses
+// for its ETA. Returns 0 for experiments whose effort is not shot-shaped
+// (event-driven or density-matrix runners) or not known in advance; the
+// heartbeat then reports rate only.
+func ApproxShots(name string, sc Scale) int64 {
+	shots := int64(sc.Shots)
+	ptShots := shots / 2
+	if ptShots < 500 {
+		ptShots = 500
+	}
+	var distances int64
+	for d := 5; d <= sc.MaxDistance; d += 2 {
+		distances++
+	}
+	if distances == 0 {
+		distances = 2 // fallback {3,5} sweep
+	}
+	switch name {
+	case "fig6":
+		// 6 alphas x 2 columns x 2 bases.
+		return 24 * shots
+	case "fig7":
+		// 5 ratios x distances x 2 bases.
+		return 10 * distances * shots
+	case "fig9":
+		// 5 codes x 6 storage lifetimes x 2 bases.
+		return 60 * shots
+	case "table3":
+		// 5 codes x (het+hom) x 2 bases, plus the 5-point pseudothreshold
+		// grid x 2 bases on the 3 non-lattice-native codes.
+		return 20*shots + 30*ptShots
+	default:
+		return 0
+	}
+}
+
 // Row is one printed result row: a label plus named numeric columns.
 type Row struct {
 	Label  string

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strconv"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/surface"
 )
 
@@ -34,18 +35,21 @@ func Fig6(sc Scale, seed int64) *Table {
 		Columns: []string{"alpha", "Tcd=a*100us", "Tca=a*100us"},
 	}
 	for _, a := range alphas {
+		label := "alpha=" + strconv.FormatFloat(a, 'g', -1, 64)
+		sp := obs.Span("fig6/" + label)
 		pd := surface.DefaultParams(d)
 		pd.TcdMicros = 100 * a
 		pa := surface.DefaultParams(d)
 		pa.TcaMicros = 100 * a
 		t.Rows = append(t.Rows, Row{
-			Label: "alpha=" + strconv.FormatFloat(a, 'g', -1, 64),
+			Label: label,
 			Values: []float64{
 				a,
 				perCycleBothBases(pd, sc.Shots, seed),
 				perCycleBothBases(pa, sc.Shots, seed),
 			},
 		})
+		sp.End()
 	}
 	return t
 }
@@ -68,12 +72,14 @@ func Fig7(sc Scale, seed int64) *Table {
 	}
 	for _, d := range distances {
 		row := Row{Label: "d=" + strconv.Itoa(d)}
+		sp := obs.Span("fig7/" + row.Label)
 		for _, r := range ratios {
 			p := surface.DefaultParams(d)
 			p.TcdMicros = 100 * r
 			row.Values = append(row.Values, perCycleBothBases(p, sc.Shots, seed))
 		}
 		t.Rows = append(t.Rows, row)
+		sp.End()
 	}
 	return t
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strconv"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/qec"
 	"hetarch/internal/uec"
 )
@@ -56,11 +57,13 @@ func Fig9(sc Scale, seed int64) *Table {
 		t.Columns = append(t.Columns, "Ts="+strconv.FormatFloat(ts, 'g', -1, 64)+"ms")
 	}
 	for _, c := range evaluationCodes() {
+		sp := obs.Span("fig9/" + c.Name)
 		row := Row{Label: c.Name}
 		for _, ts := range tsValues {
 			row.Values = append(row.Values, combinedUEC(c.Code, ts, true, false, sc.Shots, seed))
 		}
 		t.Rows = append(t.Rows, row)
+		sp.End()
 	}
 	return t
 }
@@ -79,6 +82,7 @@ func Table3(sc Scale, seed int64) *Table {
 		ptShots = 500
 	}
 	for _, c := range evaluationCodes() {
+		sp := obs.Span("table3/" + c.Name)
 		het := combinedUEC(c.Code, 50, true, false, sc.Shots, seed)
 		hom := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed)
 		pt := 0.0
@@ -94,6 +98,7 @@ func Table3(sc Scale, seed int64) *Table {
 			Label:  c.Name,
 			Values: []float64{pt, het, hom, hom / het},
 		})
+		sp.End()
 	}
 	return t
 }

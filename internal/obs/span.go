@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceSpan is one node of the wall-time tree. Spans nest lexically: a span
+// started while another is open becomes its child. JSON field names are the
+// public contract for plotting scripts.
+type TraceSpan struct {
+	Name       string       `json:"name"`
+	DurationNs int64        `json:"duration_ns"`
+	Children   []*TraceSpan `json:"children,omitempty"`
+
+	start  time.Time
+	parent *TraceSpan
+}
+
+// Tracer records a tree of wall-time spans. It is disabled by default —
+// Start is then a no-op returning an inert handle — so library code can
+// create spans unconditionally and only the CLI (or a test) pays for them.
+//
+// Nesting is tracked with a single "current span" cursor under a mutex, so
+// span structure is meaningful only when spans are opened and closed from
+// one goroutine at a time (the experiment runners are sequential; parallel
+// workers report through counters, not spans).
+type Tracer struct {
+	mu      sync.Mutex
+	enabled bool
+	roots   []*TraceSpan
+	cur     *TraceSpan
+}
+
+// NewTracer returns a disabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// SetEnabled turns span recording on or off. Turning the tracer off does
+// not clear already-recorded spans.
+func (t *Tracer) SetEnabled(v bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.enabled = v
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.enabled
+}
+
+// Reset discards all recorded spans and any open span stack.
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.roots = nil
+	t.cur = nil
+}
+
+// SpanHandle ends a span started with Start. The zero/inert handle is safe
+// to End.
+type SpanHandle struct {
+	t *Tracer
+	s *TraceSpan
+}
+
+// Start opens a span as a child of the currently open span (or as a new
+// root). It returns an inert handle when the tracer is disabled.
+func (t *Tracer) Start(name string) SpanHandle {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.enabled {
+		return SpanHandle{}
+	}
+	s := &TraceSpan{Name: name, start: time.Now(), parent: t.cur}
+	if t.cur == nil {
+		t.roots = append(t.roots, s)
+	} else {
+		t.cur.Children = append(t.cur.Children, s)
+	}
+	t.cur = s
+	return SpanHandle{t: t, s: s}
+}
+
+// End closes the span and restores its parent as current. Ending out of
+// order (a parent before its children) closes the children implicitly.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	now := time.Now()
+	// Close any still-open descendants, then the span itself.
+	for cur := h.t.cur; cur != nil; cur = cur.parent {
+		if cur.DurationNs == 0 {
+			cur.DurationNs = now.Sub(cur.start).Nanoseconds()
+		}
+		if cur == h.s {
+			h.t.cur = cur.parent
+			return
+		}
+	}
+	// h.s was not on the current path (already ended): nothing to restore.
+	if h.s.DurationNs == 0 {
+		h.s.DurationNs = now.Sub(h.s.start).Nanoseconds()
+	}
+}
+
+// Roots returns the recorded root spans (live; callers must not mutate).
+func (t *Tracer) Roots() []*TraceSpan {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.roots
+}
+
+// Render writes the span tree as indented text with durations and each
+// span's share of its parent.
+func (t *Tracer) Render(w io.Writer) {
+	t.mu.Lock()
+	roots := t.roots
+	t.mu.Unlock()
+	if len(roots) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "-- spans (wall time) --")
+	var walk func(s *TraceSpan, depth int, parentNs int64)
+	walk = func(s *TraceSpan, depth int, parentNs int64) {
+		d := time.Duration(s.DurationNs).Round(time.Microsecond)
+		line := fmt.Sprintf("  %s%s", strings.Repeat("  ", depth), s.Name)
+		if parentNs > 0 {
+			fmt.Fprintf(w, "%-46s %10s %5.1f%%\n", line, d,
+				100*float64(s.DurationNs)/float64(parentNs))
+		} else {
+			fmt.Fprintf(w, "%-46s %10s\n", line, d)
+		}
+		for _, c := range s.Children {
+			walk(c, depth+1, s.DurationNs)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0, 0)
+	}
+}
+
+// JSON marshals the span tree.
+func (t *Tracer) JSON() ([]byte, error) {
+	t.mu.Lock()
+	roots := t.roots
+	t.mu.Unlock()
+	return json.Marshal(roots)
+}
+
+// DefaultTracer is the process-wide tracer used by the instrumented
+// packages; cmd/hetarch enables it under -metrics.
+var DefaultTracer = NewTracer()
+
+// Span opens a span on the default tracer.
+func Span(name string) SpanHandle { return DefaultTracer.Start(name) }

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerDisabledIsInert(t *testing.T) {
+	tr := NewTracer()
+	h := tr.Start("root")
+	h.End() // must not panic
+	if len(tr.Roots()) != 0 {
+		t.Fatal("disabled tracer recorded spans")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	root := tr.Start("all")
+	a := tr.Start("fig9")
+	aa := tr.Start("fig9/Steane")
+	aa.End()
+	a.End()
+	b := tr.Start("table3")
+	b.End()
+	root.End()
+
+	roots := tr.Roots()
+	if len(roots) != 1 || roots[0].Name != "all" {
+		t.Fatalf("roots %+v", roots)
+	}
+	kids := roots[0].Children
+	if len(kids) != 2 || kids[0].Name != "fig9" || kids[1].Name != "table3" {
+		t.Fatalf("children %+v", kids)
+	}
+	if len(kids[0].Children) != 1 || kids[0].Children[0].Name != "fig9/Steane" {
+		t.Fatalf("grandchildren %+v", kids[0].Children)
+	}
+	if roots[0].DurationNs <= 0 {
+		t.Fatal("root duration not recorded")
+	}
+}
+
+func TestSpanEndOutOfOrderClosesChildren(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	root := tr.Start("root")
+	tr.Start("orphan") // never explicitly ended
+	root.End()
+	next := tr.Start("second")
+	next.End()
+	roots := tr.Roots()
+	if len(roots) != 2 {
+		t.Fatalf("want 2 roots after implicit close, got %+v", roots)
+	}
+	if roots[0].Children[0].DurationNs <= 0 {
+		t.Fatal("orphan child not closed with parent")
+	}
+}
+
+func TestTracerRenderAndJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	root := tr.Start("fig9")
+	c := tr.Start("fig9/Reed-Muller")
+	c.End()
+	root.End()
+
+	var buf bytes.Buffer
+	tr.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "fig9") || !strings.Contains(out, "fig9/Reed-Muller") {
+		t.Fatalf("render output %q", out)
+	}
+	if !strings.Contains(out, "%") {
+		t.Fatalf("render missing parent-share percentage: %q", out)
+	}
+
+	b, err := tr.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []*TraceSpan
+	if err := json.Unmarshal(b, &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Children[0].Name != "fig9/Reed-Muller" {
+		t.Fatalf("json %s", b)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer()
+	tr.SetEnabled(true)
+	h := tr.Start("x")
+	h.End()
+	tr.Reset()
+	if len(tr.Roots()) != 0 {
+		t.Fatal("reset did not clear spans")
+	}
+	if !tr.Enabled() {
+		t.Fatal("reset must not disable the tracer")
+	}
+}

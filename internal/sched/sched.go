@@ -4,7 +4,23 @@
 // distillation resources (Section 4.1 of the paper).
 package sched
 
-import "container/heap"
+import (
+	"container/heap"
+	"time"
+
+	"hetarch/internal/obs"
+)
+
+// Scheduler telemetry, aggregated across all Sim instances: total events
+// dispatched, the deepest queue ever observed, cumulative virtual time
+// advanced by RunUntil, and the wall time those drains took — together the
+// virtual-vs-wall speed of the event-driven simulations.
+var (
+	schedEvents   = obs.C("sched.events")
+	schedMaxDepth = obs.G("sched.max_queue_depth")
+	schedVirtual  = obs.G("sched.virtual_time_us")
+	schedWall     = obs.H("sched.run_wall_ns")
+)
 
 // event is one scheduled callback.
 type event struct {
@@ -50,6 +66,7 @@ func (s *Sim) At(t float64, fn func()) {
 	}
 	s.seq++
 	heap.Push(&s.queue, &event{time: t, seq: s.seq, fn: fn})
+	schedMaxDepth.SetMax(float64(len(s.queue)))
 }
 
 // After schedules fn d time units from now.
@@ -67,6 +84,7 @@ func (s *Sim) Step() bool {
 	}
 	e := heap.Pop(&s.queue).(*event)
 	s.now = e.time
+	schedEvents.Inc()
 	e.fn()
 	return true
 }
@@ -74,12 +92,16 @@ func (s *Sim) Step() bool {
 // RunUntil executes events in order until the clock would pass t or the
 // queue drains; the clock is left at min(t, last event time ≥ current).
 func (s *Sim) RunUntil(t float64) {
+	start := time.Now()
+	before := s.now
 	for len(s.queue) > 0 && s.queue[0].time <= t {
 		s.Step()
 	}
 	if s.now < t {
 		s.now = t
 	}
+	schedVirtual.Add(s.now - before)
+	schedWall.Observe(time.Since(start).Nanoseconds())
 }
 
 // Pending returns the number of queued events.

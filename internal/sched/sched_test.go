@@ -1,6 +1,10 @@
 package sched
 
-import "testing"
+import (
+	"testing"
+
+	"hetarch/internal/obs"
+)
 
 func TestEventOrdering(t *testing.T) {
 	var s Sim
@@ -92,4 +96,68 @@ func TestNegativeDelayPanics(t *testing.T) {
 		}
 	}()
 	s.After(-1, func() {})
+}
+
+func TestRunUntilEmptyQueueAdvancesClock(t *testing.T) {
+	var s Sim
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock %v, want 42", s.Now())
+	}
+	// Running backward-in-horizon must not rewind the clock.
+	s.RunUntil(10)
+	if s.Now() != 42 {
+		t.Fatalf("clock rewound to %v", s.Now())
+	}
+}
+
+func TestPendingAfterDrain(t *testing.T) {
+	var s Sim
+	for i := 0; i < 5; i++ {
+		s.After(float64(i+1), func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("pending %d, want 5", s.Pending())
+	}
+	s.RunUntil(100)
+	if s.Pending() != 0 {
+		t.Fatalf("pending %d after drain, want 0", s.Pending())
+	}
+	if s.Step() {
+		t.Fatal("Step after drain must report false")
+	}
+	// The drained simulator stays usable.
+	fired := false
+	s.After(1, func() { fired = true })
+	s.RunUntil(s.Now() + 2)
+	if !fired {
+		t.Fatal("event after drain did not fire")
+	}
+}
+
+func TestSchedulingAtCurrentTimeAllowed(t *testing.T) {
+	var s Sim
+	s.At(5, func() {})
+	s.RunUntil(5)
+	fired := false
+	s.At(5, func() { fired = true }) // exactly now: not "the past"
+	s.RunUntil(5)
+	if !fired {
+		t.Fatal("event at the current time must be runnable")
+	}
+}
+
+func TestTelemetryCounters(t *testing.T) {
+	events0 := obs.C("sched.events").Value()
+	var s Sim
+	for i := 0; i < 7; i++ {
+		s.After(float64(i+1), func() {})
+	}
+	s.RunUntil(100)
+	if d := obs.C("sched.events").Value() - events0; d != 7 {
+		t.Fatalf("events delta %d, want 7", d)
+	}
+	if got := obs.G("sched.max_queue_depth").Value(); got < 7 {
+		t.Fatalf("max queue depth %v, want >= 7", got)
+	}
 }

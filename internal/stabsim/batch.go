@@ -3,6 +3,15 @@ package stabsim
 import (
 	"math"
 	"math/rand"
+
+	"hetarch/internal/obs"
+)
+
+// Batch sampling telemetry: one atomic add per 64-shot batch, invisible
+// against the cost of replaying the circuit.
+var (
+	batchCount      = obs.C("stabsim.batches")
+	batchShotsCount = obs.C("stabsim.batch_shots")
 )
 
 // BatchFrameSampler propagates 64 Pauli frames simultaneously, one per bit
@@ -73,6 +82,8 @@ func bernoulliMask(rng *rand.Rand, p float64) uint64 {
 // SampleBatch executes 64 shots and returns their detector and observable
 // words. The returned slices are freshly allocated.
 func (b *BatchFrameSampler) SampleBatch() BatchResult {
+	batchCount.Inc()
+	batchShotsCount.Add(64)
 	for i := range b.fx {
 		b.fx[i] = 0
 		b.fz[i] = 0

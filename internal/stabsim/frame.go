@@ -3,8 +3,12 @@ package stabsim
 import (
 	"math/rand"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/pauli"
 )
+
+// frameSamples counts scalar shots drawn through FrameSampler.Sample.
+var frameSamples = obs.C("stabsim.frame_samples")
 
 // FrameSampler is the fast Monte Carlo backend: it tracks only the Pauli
 // difference ("frame") between the noisy execution and the noiseless
@@ -47,6 +51,7 @@ type ShotResult struct {
 // Sample executes one shot and returns the detector/observable flip vectors.
 // The returned slices are freshly allocated and owned by the caller.
 func (f *FrameSampler) Sample() ShotResult {
+	frameSamples.Inc()
 	f.fx.Clear()
 	f.fz.Clear()
 	f.flips = f.flips[:0]

@@ -5,7 +5,16 @@ import (
 	"math/rand"
 
 	"hetarch/internal/decoder"
+	"hetarch/internal/obs"
 	"hetarch/internal/stabsim"
+)
+
+// Monte Carlo telemetry. Shots are added once per 64-shot batch (so the
+// progress heartbeat sees movement mid-run) and errors once per worker;
+// both are negligible against the sampling and decoding they count.
+var (
+	surfShots  = obs.C("surface.shots")
+	surfErrors = obs.C("surface.logical_errors")
 )
 
 // buildGraph constructs the space–time matching graph for the basis-type
@@ -122,7 +131,9 @@ func (e *Experiment) Run(shots int, seed int64) Result {
 			}
 		}
 		done += n
+		surfShots.Add(int64(n))
 	}
+	surfErrors.Add(int64(res.LogicalErrors))
 	return res
 }
 
@@ -186,7 +197,9 @@ func (e *Experiment) RunParallel(shots int, seed int64, workers int) Result {
 					}
 				}
 				done += k
+				surfShots.Add(int64(k))
 			}
+			surfErrors.Add(int64(errs))
 			out <- partial{errors: errs}
 		}(w, n)
 	}

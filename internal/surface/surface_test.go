@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/stabsim"
 )
 
@@ -210,5 +211,49 @@ func TestRunParallelFallsBackForSmallJobs(t *testing.T) {
 	b := e.RunParallel(50, 9, 8) // too small: must match Run exactly
 	if a.LogicalErrors != b.LogicalErrors {
 		t.Fatal("small-job fallback should be identical to Run")
+	}
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	e, err := New(DefaultParams(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunParallel(4096, int64(i), 4)
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B) {
+	e, err := New(DefaultParams(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(1024, int64(i))
+	}
+}
+
+func TestRunCountsShots(t *testing.T) {
+	e, err := New(DefaultParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots0 := obs.C("surface.shots").Value()
+	decodes0 := obs.C("decoder.unionfind.decodes").Value()
+	e.Run(130, 1)
+	if d := obs.C("surface.shots").Value() - shots0; d != 130 {
+		t.Fatalf("shot counter delta %d, want 130", d)
+	}
+	if d := obs.C("decoder.unionfind.decodes").Value() - decodes0; d != 130 {
+		t.Fatalf("decode counter delta %d, want 130", d)
+	}
+	// Parallel runs must account every worker's shots exactly once.
+	shots1 := obs.C("surface.shots").Value()
+	e.RunParallel(1000, 1, 4)
+	if d := obs.C("surface.shots").Value() - shots1; d != 1000 {
+		t.Fatalf("parallel shot counter delta %d, want 1000", d)
 	}
 }

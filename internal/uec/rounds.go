@@ -6,7 +6,17 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"hetarch/internal/obs"
 	"hetarch/internal/stabsim"
+)
+
+// Memory-experiment telemetry: shots tick individually (each shot replays
+// the full R-round circuit, so the add is invisible); rounds count the
+// decoded noisy-plus-verification cycles.
+var (
+	memShots  = obs.C("uec.memory.shots")
+	memErrors = obs.C("uec.memory.logical_errors")
+	memRounds = obs.C("uec.memory.rounds")
 )
 
 // Multi-round memory experiment: the UEC module's actual job is to keep a
@@ -155,6 +165,8 @@ func (m *MemoryExperiment) Run(shots int, seed int64) Result {
 	res := Result{Shots: shots}
 	k := m.E.numChecks
 	for s := 0; s < shots; s++ {
+		memShots.Inc()
+		memRounds.Add(int64(m.Rounds) + 1)
 		shot := fs.Sample()
 		var correction uint64
 		for r := 0; r <= m.Rounds; r++ { // R noisy rounds + verification
@@ -172,6 +184,7 @@ func (m *MemoryExperiment) Run(shots int, seed int64) Result {
 			res.LogicalErrors++
 		}
 	}
+	memErrors.Add(int64(res.LogicalErrors))
 	return res
 }
 

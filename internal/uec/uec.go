@@ -16,9 +16,17 @@ import (
 	"math/rand"
 
 	"hetarch/internal/decoder"
+	"hetarch/internal/obs"
 	"hetarch/internal/qec"
 	"hetarch/internal/stabsim"
 	"hetarch/internal/topology"
+)
+
+// Monte Carlo telemetry: shots tick per 64-shot batch for live progress;
+// errors settle once per run.
+var (
+	uecShots  = obs.C("uec.shots")
+	uecErrors = obs.C("uec.logical_errors")
 )
 
 // Params configures a UEC memory experiment for one code.
@@ -152,7 +160,7 @@ func New(p Params) (*Experiment, error) {
 		logical = p.Code.LogicalX
 	}
 	e.logicalMask = maskOf(qec.Support(logical))
-	e.lookup = decoder.NewLookup(p.Code.N, e.checkMasks)
+	e.lookup = decoder.CachedLookup(p.Code.N, e.checkMasks)
 
 	if p.Registers <= 0 {
 		p.Registers = 3
@@ -529,6 +537,8 @@ func (e *Experiment) Run(shots int, seed int64) Result {
 			}
 		}
 		done += n
+		uecShots.Add(int64(n))
 	}
+	uecErrors.Add(int64(res.LogicalErrors))
 	return res
 }
