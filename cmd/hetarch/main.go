@@ -4,10 +4,16 @@
 // Usage:
 //
 //	hetarch <experiment> [-quick] [-seed N] [-json] [-metrics] [-progress]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-listen ADDR] [-record FILE] [-cpuprofile FILE] [-memprofile FILE]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
+//
+// -listen serves live telemetry over HTTP while the run is in flight:
+// /metrics (Prometheus text), /progress (JSON, or SSE with ?sse=1), /spans
+// (span tree) and /debug/pprof. -record journals the run to a JSONL flight-
+// recorder artifact (config, seeds, git revision, per-batch counts, final
+// metrics) that cmd/obsdiff can diff against a baseline.
 //
 // Experiment results go to stdout; everything else — timing lines, the
 // -progress heartbeat, and the -metrics telemetry (counter snapshot plus
@@ -18,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -26,6 +33,8 @@ import (
 
 	"hetarch/internal/experiments"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/recorder"
+	"hetarch/internal/obs/serve"
 )
 
 func main() {
@@ -42,6 +51,8 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
 	metrics := fs.Bool("metrics", false, "print telemetry (counter snapshot + span tree) to stderr after the run")
 	progress := fs.Bool("progress", false, "heartbeat on stderr with shots/sec and ETA")
+	listen := fs.String("listen", "", "serve live telemetry over HTTP on `addr` (/metrics, /progress, /spans, /debug/pprof)")
+	record := fs.String("record", "", "journal the run to a JSONL flight-recorder artifact at `file`")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if len(args) == 0 {
@@ -68,12 +79,51 @@ func run(args []string) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-	if *metrics {
+	if *metrics || *listen != "" {
 		obs.DefaultTracer.SetEnabled(true)
 	}
+	// The heartbeat also feeds /progress, so a listen-only run keeps it
+	// ticking silently. Stop is idempotent: the deferred call guards every
+	// early error return, the explicit one below sequences the final summary
+	// line before the telemetry output.
 	var hb *obs.Heartbeat
-	if *progress {
-		hb = obs.StartHeartbeat(os.Stderr, 2*time.Second, approxTotal(name, sc), totalShots)
+	if *progress || *listen != "" {
+		hbOut := io.Writer(io.Discard)
+		if *progress {
+			hbOut = os.Stderr
+		}
+		hb = obs.StartHeartbeat(hbOut, 2*time.Second, approxTotal(name, sc), totalShots)
+		defer hb.Stop()
+	}
+
+	if *listen != "" {
+		srv, err := serve.Start(*listen, serve.Options{
+			Registry:  obs.Default,
+			Tracer:    obs.DefaultTracer,
+			Heartbeat: hb,
+		})
+		if err != nil {
+			return fmt.Errorf("listen: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (metrics, progress, spans, debug/pprof)\n", srv.Addr())
+	}
+
+	var rec *recorder.Writer
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
+		defer f.Close()
+		rec = recorder.NewWriter(f)
+		scaleName := "full"
+		if *quick {
+			scaleName = "quick"
+		}
+		if err := rec.WriteHeader(recorder.NewHeader("hetarch", name, scaleName, *seed, args)); err != nil {
+			return fmt.Errorf("record: %w", err)
+		}
 	}
 
 	emit := tablePrinter
@@ -97,10 +147,26 @@ func run(args []string) error {
 		"protocol": func() error { return experiments.ProtocolCheck(os.Stdout, *seed) },
 	}
 
+	runStart := time.Now()
 	runOne := func(n string) error {
 		sp := obs.Span(n)
 		defer sp.End()
-		return runners[n]()
+		start := time.Now()
+		shots0, errs0 := totalShots(), totalErrors()
+		err := runners[n]()
+		if rec != nil {
+			batch := recorder.Batch{
+				Name:        n,
+				WallSeconds: time.Since(start).Seconds(),
+				Shots:       totalShots() - shots0,
+				Errors:      totalErrors() - errs0,
+				TotalShots:  totalShots(),
+			}
+			if werr := rec.WriteBatch(batch); werr != nil && err == nil {
+				err = fmt.Errorf("record: %w", werr)
+			}
+		}
+		return err
 	}
 
 	var runErr error
@@ -121,6 +187,18 @@ func run(args []string) error {
 	} else {
 		usage(fs)
 		return fmt.Errorf("unknown experiment %q", name)
+	}
+	if rec != nil {
+		final := recorder.Final{
+			WallSeconds: time.Since(runStart).Seconds(),
+			Metrics:     obs.Default.Snapshot(),
+		}
+		if runErr != nil {
+			final.Err = runErr.Error()
+		}
+		if err := rec.WriteFinal(final); err != nil && runErr == nil {
+			runErr = fmt.Errorf("record: %w", err)
+		}
 	}
 	if hb != nil {
 		hb.Stop() // final summary line, before any telemetry output
@@ -153,6 +231,14 @@ func run(args []string) error {
 func totalShots() int64 {
 	return obs.Default.Snapshot().SumCounters(func(name string) bool {
 		return strings.HasSuffix(name, ".shots")
+	})
+}
+
+// totalErrors aggregates every logical-error counter for the flight
+// recorder's per-batch error deltas.
+func totalErrors() int64 {
+	return obs.Default.Snapshot().SumCounters(func(name string) bool {
+		return strings.HasSuffix(name, ".logical_errors")
 	})
 }
 

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bench(shotsPerSec string) string {
+	return `{"entries":[{"experiment":"fig9","scale":"quick","shots":90000,"wall_seconds":0.1,"shots_per_sec":` + shotsPerSec + `}]}`
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", bench("1000000"))
+	same := writeFile(t, dir, "same.json", bench("990000"))
+	slow := writeFile(t, dir, "slow.json", bench("400000"))
+	other := writeFile(t, dir, "other.json",
+		`{"entries":[{"experiment":"table3","scale":"quick","shots":1,"wall_seconds":1,"shots_per_sec":1}]}`)
+	garbage := writeFile(t, dir, "garbage", "not an artifact")
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no regression", []string{base, same}, 0},
+		{"throughput regression", []string{base, slow}, 1},
+		{"report-only masks regression", []string{"-report-only", base, slow}, 0},
+		{"incomparable artifacts", []string{base, other}, 2},
+		{"unreadable artifact", []string{base, garbage}, 2},
+		{"missing file", []string{base, filepath.Join(dir, "missing")}, 2},
+		{"usage: too few args", []string{base}, 2},
+		{"usage: bad flag", []string{"-no-such-flag", base, same}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout: %s\nstderr: %s",
+					tc.args, got, tc.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+func TestRunReportMentionsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeFile(t, dir, "base.json", bench("1000000"))
+	slow := writeFile(t, dir, "slow.json", bench("400000"))
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{base, slow}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit %d, want 1", got)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Fatalf("report does not flag the regression:\n%s", stdout.String())
+	}
+}

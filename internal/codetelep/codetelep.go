@@ -19,6 +19,7 @@ import (
 
 	"hetarch/internal/core"
 	"hetarch/internal/distill"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/qec"
 	"hetarch/internal/stabsim"
 	"hetarch/internal/uec"
@@ -85,6 +86,30 @@ type Result struct {
 	// CatAcceptRate is the CAT generator's verification acceptance rate
 	// (throughput, not fidelity: rejected cats are regenerated).
 	CatAcceptRate float64
+	// UECErrors/UECShots pool the logical-error counts of the four UEC
+	// sub-module Monte Carlo runs (two sides x two bases, equal shots) —
+	// the sampled part of the error budget, from which CI derives its
+	// confidence interval.
+	UECErrors int64
+	UECShots  int64
+}
+
+// CI returns a confidence interval on LogicalErrorProbability, or nil when
+// no interval is meaningful (distillation failed, so the probability is the
+// deterministic 1/2 ceiling, or no Monte Carlo shots were sampled). Only
+// the UEC sub-modules contribute sampling noise that scales with Shots, so
+// the interval is the pooled Wilson interval of their four equal-shot runs,
+// scaled to the sum of the four rates and shifted by the budget's
+// deterministic remainder.
+func (r *Result) CI(confidence float64) *stats.Interval {
+	if r.DistillationFailed || r.UECShots == 0 {
+		return nil
+	}
+	uecSum := 4 * float64(r.UECErrors) / float64(r.UECShots)
+	iv := stats.BinomialCI(r.UECErrors, r.UECShots, confidence).
+		Scaled(4).
+		Shifted(r.LogicalErrorProbability-uecSum, 0.5)
+	return &iv
 }
 
 // Evaluate composes the CT module error model for the parameter set.
@@ -169,10 +194,12 @@ func Evaluate(p Params) (*Result, error) {
 		code   *qec.Code
 		native bool
 	}{{"logical-A", p.CodeA, p.NativeA}, {"logical-B", p.CodeB, p.NativeB}} {
-		rate, dur, err := p.uecLogicalRate(side.code, side.native)
+		rate, dur, errs, shots, err := p.uecLogicalRate(side.code, side.native)
 		if err != nil {
 			return nil, err
 		}
+		res.UECErrors += errs
+		res.UECShots += shots
 		res.Budget.Add(side.name+" ("+side.code.Name+")", rate, dur)
 	}
 
@@ -205,8 +232,9 @@ func (p Params) distillEPs() (infidelity, ratePerSecond float64, ok bool) {
 }
 
 // uecLogicalRate evaluates the (serialized or lattice) QEC sub-module's
-// combined per-cycle logical error rate for one code.
-func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, duration float64, err error) {
+// combined per-cycle logical error rate for one code, along with the raw
+// error/shot counts the rate was estimated from.
+func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, duration float64, errs, shots int64, err error) {
 	total := 0.0
 	var dur float64
 	for _, basis := range []byte{'Z', 'X'} {
@@ -215,12 +243,15 @@ func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, durat
 		up.NativePlacement = native
 		up.P2 = p.P2
 		up.TcMicros = p.TcMicros
-		e, err := uec.New(up)
-		if err != nil {
-			return 0, 0, err
+		e, uerr := uec.New(up)
+		if uerr != nil {
+			return 0, 0, 0, 0, uerr
 		}
-		total += e.Run(p.Shots, p.Seed).LogicalErrorRate()
+		r := e.Run(p.Shots, p.Seed)
+		total += r.LogicalErrorRate()
+		errs += int64(r.LogicalErrors)
+		shots += int64(r.Shots)
 		dur = e.CycleDuration
 	}
-	return total, dur, nil
+	return total, dur, errs, shots, nil
 }

@@ -16,10 +16,10 @@ import (
 	"hetarch/internal/obs"
 )
 
-// Process-wide characterization-cache telemetry. Every Characterizer
-// instance mirrors its accounting here so the CLI's -metrics snapshot shows
-// the paper's cost-hierarchy cache working regardless of which experiment
-// constructed the cache.
+// Process-wide characterization-cache telemetry: the single source of truth
+// for cache accounting. The CLI's -metrics snapshot and Stats both read it,
+// so the paper's cost-hierarchy cache is visible regardless of which
+// experiment constructed the cache.
 var (
 	charCalls  = obs.C("core.characterize.calls")
 	charHits   = obs.C("core.characterize.hits")
@@ -138,10 +138,6 @@ func (m *Module) Tree() string {
 type Characterizer struct {
 	mu    sync.Mutex
 	cache map[string]*cell.Characterization
-
-	// Per-instance accounting (obs counters so reads need no lock); the
-	// same increments are mirrored to the process-wide registry above.
-	calls, hits obs.Counter
 }
 
 // NewCharacterizer returns an empty cache.
@@ -152,12 +148,10 @@ func NewCharacterizer() *Characterizer {
 // Characterize returns the memoized characterization for key, running fn on
 // a miss. Keys must uniquely encode the cell's device parameters.
 func (ch *Characterizer) Characterize(key string, c *cell.Cell, fn func(*cell.Cell) (*cell.Characterization, error)) (*cell.Characterization, error) {
-	ch.calls.Inc()
 	charCalls.Inc()
 	ch.mu.Lock()
 	if got, ok := ch.cache[key]; ok {
 		ch.mu.Unlock()
-		ch.hits.Inc()
 		charHits.Inc()
 		return got, nil
 	}
@@ -173,11 +167,13 @@ func (ch *Characterizer) Characterize(key string, c *cell.Cell, fn func(*cell.Ce
 	return res, nil
 }
 
-// Stats reports (calls, hits) — the DSE speedup bench uses the hit rate.
-// It is a shim over the instance's obs counters; the process-wide totals
-// live in the obs registry as core.characterize.{calls,hits,misses}.
+// Stats reports the process-wide (calls, hits) totals straight from the obs
+// registry (core.characterize.{calls,hits}) — the same numbers the -metrics
+// snapshot shows, so the two can never drift. Because the counters are
+// process-wide, callers that want the accounting of one sweep (the DSE
+// speedup bench, tests) must difference Stats before and after it.
 func (ch *Characterizer) Stats() (calls, hits int) {
-	return int(ch.calls.Value()), int(ch.hits.Value())
+	return int(charCalls.Value()), int(charHits.Value())
 }
 
 // ErrorBudget composes a module's logical error phenomenologically:

@@ -81,6 +81,7 @@ func TestCharacterizerCaches(t *testing.T) {
 		return cell.CharacterizeRegister(c)
 	}
 	reg := testRegister()
+	calls0, hits0 := ch.Stats()
 	for i := 0; i < 5; i++ {
 		if _, err := ch.Characterize("reg:ts=12500,tc=500", reg, fn); err != nil {
 			t.Fatal(err)
@@ -90,8 +91,8 @@ func TestCharacterizerCaches(t *testing.T) {
 		t.Fatalf("characterization ran %d times, want 1", runs)
 	}
 	calls, hits := ch.Stats()
-	if calls != 5 || hits != 4 {
-		t.Fatalf("stats (%d,%d)", calls, hits)
+	if calls-calls0 != 5 || hits-hits0 != 4 {
+		t.Fatalf("stats delta (%d,%d), want (5,4)", calls-calls0, hits-hits0)
 	}
 	// Different key -> new run.
 	if _, err := ch.Characterize("reg:ts=50000,tc=500", reg, fn); err != nil {
@@ -193,6 +194,7 @@ func TestParetoFront(t *testing.T) {
 func TestCharacterizerConcurrentAccess(t *testing.T) {
 	ch := NewCharacterizer()
 	reg := testRegister()
+	calls0, hits0 := ch.Stats()
 	done := make(chan error, 8)
 	for g := 0; g < 8; g++ {
 		go func(g int) {
@@ -212,7 +214,8 @@ func TestCharacterizerConcurrentAccess(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	calls, hits := ch.Stats()
+	calls1, hits1 := ch.Stats()
+	calls, hits := calls1-calls0, hits1-hits0
 	if calls != 160 {
 		t.Fatalf("calls = %d", calls)
 	}
@@ -222,17 +225,24 @@ func TestCharacterizerConcurrentAccess(t *testing.T) {
 }
 
 func TestCharacterizerHitMissAccounting(t *testing.T) {
-	// Two instances must account independently (Stats is per-instance even
-	// though totals are mirrored to the process-wide obs registry).
+	// Stats reads the process-wide registry: accounting from every instance
+	// lands in the same counters, while the caches stay per-instance.
 	a := NewCharacterizer()
 	b := NewCharacterizer()
+	runs := 0
 	fn := func(*cell.Cell) (*cell.Characterization, error) {
+		runs++
 		return &cell.Characterization{}, nil
 	}
 
 	globalCalls0 := obs.C("core.characterize.calls").Value()
 	globalHits0 := obs.C("core.characterize.hits").Value()
 	globalMisses0 := obs.C("core.characterize.misses").Value()
+	calls0, hits0 := a.Stats()
+	if int64(calls0) != globalCalls0 || int64(hits0) != globalHits0 {
+		t.Fatalf("Stats (%d,%d) drifted from the registry (%d,%d)",
+			calls0, hits0, globalCalls0, globalHits0)
+	}
 
 	// a: miss, hit, hit on one key; miss on a second key.
 	for i := 0; i < 3; i++ {
@@ -243,18 +253,26 @@ func TestCharacterizerHitMissAccounting(t *testing.T) {
 	if _, err := a.Characterize("k2", nil, fn); err != nil {
 		t.Fatal(err)
 	}
-	// b: a single miss; must not see a's cache.
+	// b: a single miss — caches are per-instance, so b re-runs k1.
 	if _, err := b.Characterize("k1", nil, fn); err != nil {
 		t.Fatal(err)
 	}
-
-	if calls, hits := a.Stats(); calls != 4 || hits != 2 {
-		t.Fatalf("a stats (%d,%d), want (4,2)", calls, hits)
-	}
-	if calls, hits := b.Stats(); calls != 1 || hits != 0 {
-		t.Fatalf("b stats (%d,%d), want (1,0)", calls, hits)
+	if runs != 3 {
+		t.Fatalf("fn ran %d times, want 3 (caches must not be shared)", runs)
 	}
 
+	// Both instances report the same process-wide totals.
+	aCalls, aHits := a.Stats()
+	bCalls, bHits := b.Stats()
+	if aCalls != bCalls || aHits != bHits {
+		t.Fatalf("instances disagree: a=(%d,%d) b=(%d,%d)", aCalls, aHits, bCalls, bHits)
+	}
+	if d := aCalls - calls0; d != 5 {
+		t.Fatalf("calls delta %d, want 5", d)
+	}
+	if d := aHits - hits0; d != 2 {
+		t.Fatalf("hits delta %d, want 2", d)
+	}
 	if d := obs.C("core.characterize.calls").Value() - globalCalls0; d != 5 {
 		t.Fatalf("global calls delta %d, want 5", d)
 	}
@@ -268,11 +286,12 @@ func TestCharacterizerHitMissAccounting(t *testing.T) {
 
 func TestCharacterizerErrorCountsAsMiss(t *testing.T) {
 	ch := NewCharacterizer()
+	calls0, hits0 := ch.Stats()
 	boom := errors.New("boom")
 	_, _ = ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
 		return nil, boom
 	})
-	if calls, hits := ch.Stats(); calls != 1 || hits != 0 {
-		t.Fatalf("stats (%d,%d) after error, want (1,0)", calls, hits)
+	if calls, hits := ch.Stats(); calls-calls0 != 1 || hits-hits0 != 0 {
+		t.Fatalf("stats delta (%d,%d) after error, want (1,0)", calls-calls0, hits-hits0)
 	}
 }

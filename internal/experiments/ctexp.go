@@ -4,10 +4,13 @@ import (
 	"strconv"
 
 	"hetarch/internal/codetelep"
+	"hetarch/internal/obs/stats"
 )
 
-// ctPair returns a configured CT evaluation for two evaluation codes.
-func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64) float64 {
+// ctPair returns a configured CT evaluation for two evaluation codes: the
+// CT-state logical error probability and its 95% confidence interval (nil
+// when distillation failed and the probability is the deterministic 1/2).
+func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64) (float64, *stats.Interval) {
 	p := codetelep.DefaultParams(a.Code, b.Code, tsMillis, het)
 	p.NativeA, p.NativeB = a.Native, b.Native
 	p.Shots = shots
@@ -16,7 +19,7 @@ func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64) fl
 	if err != nil {
 		panic(err)
 	}
-	return r.LogicalErrorProbability
+	return r.LogicalErrorProbability, r.CI(0.95)
 }
 
 // Fig12 reproduces the code-teleportation sweep: CT-state logical error
@@ -39,7 +42,9 @@ func Fig12(sc Scale, seed int64) *Table {
 	for _, ts := range []float64{1, 5, 10, 25, 50} {
 		row := Row{Label: "Ts=" + strconv.FormatFloat(ts, 'g', -1, 64) + "ms"}
 		for _, pr := range pairs {
-			row.Values = append(row.Values, ctPair(pr[0], pr[1], ts, true, sc.Shots, seed))
+			v, ci := ctPair(pr[0], pr[1], ts, true, sc.Shots, seed)
+			row.Values = append(row.Values, v)
+			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -57,11 +62,12 @@ func Table4(sc Scale, seed int64) *Table {
 	}
 	for i := range codes {
 		for j := i + 1; j < len(codes); j++ {
-			het := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed)
-			hom := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed)
+			het, hetCI := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed)
+			hom, homCI := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed)
 			t.Rows = append(t.Rows, Row{
 				Label:  codes[i].Name + " & " + codes[j].Name,
 				Values: []float64{het, hom, hom / het},
+				CIs:    []*stats.Interval{hetCI, homCI, nil},
 			})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"hetarch/internal/device"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/surface"
 )
 
@@ -52,9 +53,11 @@ func DeviceStudy(sc Scale, seed int64) *Table {
 			panic(err)
 		}
 		p.P2 = g.Error
+		v, ci := perCycleBothBases(p, sc.Shots, seed)
 		t.Rows = append(t.Rows, Row{
 			Label:  c.name,
-			Values: []float64{perCycleBothBases(p, sc.Shots, seed)},
+			Values: []float64{v},
+			CIs:    []*stats.Interval{ci},
 		})
 	}
 	return t

@@ -20,6 +20,9 @@ import (
 // footprint), and the characterizer statistics.
 func DSEDemo() (results []core.Result, front []core.Result, calls, hits int) {
 	ch := core.NewCharacterizer()
+	// Stats reads the process-wide registry; difference it around the sweep
+	// so the reported numbers are this demo's own.
+	calls0, hits0 := ch.Stats()
 	params := []core.Param{
 		{Name: "tsMillis", Values: []float64{0.5, 1, 2.5, 5, 12.5, 25, 50}},
 		{Name: "modes", Values: []float64{3, 10}},
@@ -60,7 +63,8 @@ func DSEDemo() (results []core.Result, front []core.Result, calls, hits int) {
 		}
 	})
 	front = core.ParetoFront(results, []string{"storedError", "footprint"})
-	calls, hits = ch.Stats()
+	calls1, hits1 := ch.Stats()
+	calls, hits = calls1-calls0, hits1-hits0
 	return results, front, calls, hits
 }
 

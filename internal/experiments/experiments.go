@@ -8,6 +8,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"hetarch/internal/obs/stats"
 )
 
 // Scale controls the Monte Carlo effort of every runner. Full reproduces
@@ -66,9 +68,21 @@ func ApproxShots(name string, sc Scale) int64 {
 }
 
 // Row is one printed result row: a label plus named numeric columns.
+// CIs, when present, parallels Values: CIs[i] is the 95% Wilson confidence
+// interval on Values[i], nil for columns that are not sampled estimates
+// (sweep parameters, ratios of estimates, deterministic values).
 type Row struct {
 	Label  string
 	Values []float64
+	CIs    []*stats.Interval `json:"CIs,omitempty"`
+}
+
+// ci returns the row's interval for column i, or nil.
+func (r Row) ci(i int) *stats.Interval {
+	if i < len(r.CIs) {
+		return r.CIs[i]
+	}
+	return nil
 }
 
 // Table is a printable experiment result.
@@ -90,6 +104,25 @@ func (t *Table) Fprint(w io.Writer) {
 		fmt.Fprintf(w, "%-28s", r.Label)
 		for _, v := range r.Values {
 			fmt.Fprintf(w, "%14.5g", v)
+		}
+		fmt.Fprintln(w)
+		hasCI := false
+		for i := range r.Values {
+			if r.ci(i) != nil {
+				hasCI = true
+			}
+		}
+		if !hasCI {
+			continue
+		}
+		// Continuation line: 95% Wilson half-widths under the estimates.
+		fmt.Fprintf(w, "%-28s", "  (95% CI)")
+		for i := range r.Values {
+			if iv := r.ci(i); iv != nil {
+				fmt.Fprintf(w, "%14s", fmt.Sprintf("±%.2g", iv.Half()))
+			} else {
+				fmt.Fprintf(w, "%14s", "")
+			}
 		}
 		fmt.Fprintln(w)
 	}

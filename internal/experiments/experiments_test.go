@@ -2,8 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"hetarch/internal/obs/stats"
 )
 
 func TestTable1Prints(t *testing.T) {
@@ -202,6 +205,53 @@ func TestDSECacheWorks(t *testing.T) {
 	FprintDSE(&buf)
 	if !strings.Contains(buf.String(), "Pareto front") {
 		t.Fatal("summary missing")
+	}
+}
+
+func TestRowCIsPopulated(t *testing.T) {
+	sc := Quick()
+	sc.Shots = 256
+	sc.MaxDistance = 3
+	tab := Fig6(sc, 3)
+	for _, r := range tab.Rows {
+		if r.ci(0) != nil {
+			t.Fatalf("%s: the alpha sweep parameter must not carry a CI", r.Label)
+		}
+		for i := 1; i <= 2; i++ {
+			iv := r.ci(i)
+			if iv == nil {
+				t.Fatalf("%s: column %d missing its confidence interval", r.Label, i)
+			}
+			if iv.Lo < 0 || iv.Hi <= iv.Lo {
+				t.Fatalf("%s: degenerate interval %+v", r.Label, iv)
+			}
+		}
+	}
+	// Text rendering carries a ± continuation line; JSON carries lo/hi.
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	if !strings.Contains(buf.String(), "(95% CI)") || !strings.Contains(buf.String(), "±") {
+		t.Fatalf("Fprint lost the error bars:\n%s", buf.String())
+	}
+	raw, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"lo"`) || !strings.Contains(string(raw), `"hi"`) {
+		t.Fatalf("JSON output lost the error bars:\n%s", raw)
+	}
+}
+
+func TestFprintSkipsCILineWhenAbsent(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a"}, Rows: []Row{
+		{Label: "x", Values: []float64{1}},
+		{Label: "y", Values: []float64{2}, CIs: []*stats.Interval{{Lo: 1.5, Hi: 2.5}}},
+	}}
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if strings.Count(out, "(95% CI)") != 1 {
+		t.Fatalf("expected exactly one CI line:\n%s", out)
 	}
 }
 

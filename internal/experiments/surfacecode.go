@@ -4,13 +4,20 @@ import (
 	"strconv"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/surface"
 )
 
 // perCycleBothBases runs the memory experiment in both bases and returns
-// the combined per-cycle logical error rate (Z-sector plus X-sector).
-func perCycleBothBases(p surface.Params, shots int, seed int64) float64 {
+// the combined per-cycle logical error rate (Z-sector plus X-sector) with
+// its 95% Wilson confidence interval. The interval pools the two equal-shot
+// sectors into one binomial sample, maps the per-shot endpoints through the
+// monotone per-cycle transform, and scales by two — matching the sum of the
+// two sector estimates.
+func perCycleBothBases(p surface.Params, shots int, seed int64) (float64, *stats.Interval) {
 	total := 0.0
+	var errs, n int64
+	rounds := 1
 	for _, basis := range []byte{'Z', 'X'} {
 		pp := p
 		pp.Basis = basis
@@ -18,9 +25,16 @@ func perCycleBothBases(p surface.Params, shots int, seed int64) float64 {
 		if err != nil {
 			panic(err)
 		}
-		total += e.Run(shots, seed).PerCycleErrorRate()
+		r := e.Run(shots, seed)
+		total += r.PerCycleErrorRate()
+		errs += int64(r.LogicalErrors)
+		n += int64(r.Shots)
+		rounds = r.Rounds
 	}
-	return total
+	ci := stats.BinomialCI(errs, n, 0.95).
+		Map(func(eps float64) float64 { return surface.PerCycle(eps, rounds) }).
+		Scaled(2)
+	return total, &ci
 }
 
 // Fig6 reproduces the d=13 coherence sweep: logical error per cycle as the
@@ -41,13 +55,12 @@ func Fig6(sc Scale, seed int64) *Table {
 		pd.TcdMicros = 100 * a
 		pa := surface.DefaultParams(d)
 		pa.TcaMicros = 100 * a
+		vd, cid := perCycleBothBases(pd, sc.Shots, seed)
+		va, cia := perCycleBothBases(pa, sc.Shots, seed)
 		t.Rows = append(t.Rows, Row{
-			Label: label,
-			Values: []float64{
-				a,
-				perCycleBothBases(pd, sc.Shots, seed),
-				perCycleBothBases(pa, sc.Shots, seed),
-			},
+			Label:  label,
+			Values: []float64{a, vd, va},
+			CIs:    []*stats.Interval{nil, cid, cia},
 		})
 		sp.End()
 	}
@@ -76,7 +89,9 @@ func Fig7(sc Scale, seed int64) *Table {
 		for _, r := range ratios {
 			p := surface.DefaultParams(d)
 			p.TcdMicros = 100 * r
-			row.Values = append(row.Values, perCycleBothBases(p, sc.Shots, seed))
+			v, ci := perCycleBothBases(p, sc.Shots, seed)
+			row.Values = append(row.Values, v)
+			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 		sp.End()

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/qec"
 	"hetarch/internal/uec"
 )
@@ -31,9 +32,12 @@ func evaluationCodes() []evalCode {
 }
 
 // combinedUEC returns the Z-sector plus X-sector logical error rate of the
-// module for one code.
-func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64) float64 {
+// module for one code, with its 95% Wilson confidence interval (the two
+// equal-shot sectors pooled into one binomial sample, scaled by two to
+// match the sum of the sector estimates).
+func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64) (float64, *stats.Interval) {
 	total := 0.0
+	var errs, n int64
 	for _, basis := range []byte{'Z', 'X'} {
 		p := uec.DefaultParams(code, tsMillis, het)
 		p.Basis = basis
@@ -42,9 +46,13 @@ func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, 
 		if err != nil {
 			panic(err)
 		}
-		total += e.Run(shots, seed).LogicalErrorRate()
+		r := e.Run(shots, seed)
+		total += r.LogicalErrorRate()
+		errs += int64(r.LogicalErrors)
+		n += int64(r.Shots)
 	}
-	return total
+	ci := stats.BinomialCI(errs, n, 0.95).Scaled(2)
+	return total, &ci
 }
 
 // Fig9 reproduces the universal-error-correction sweep: logical error rate
@@ -60,7 +68,9 @@ func Fig9(sc Scale, seed int64) *Table {
 		sp := obs.Span("fig9/" + c.Name)
 		row := Row{Label: c.Name}
 		for _, ts := range tsValues {
-			row.Values = append(row.Values, combinedUEC(c.Code, ts, true, false, sc.Shots, seed))
+			v, ci := combinedUEC(c.Code, ts, true, false, sc.Shots, seed)
+			row.Values = append(row.Values, v)
+			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 		sp.End()
@@ -83,8 +93,8 @@ func Table3(sc Scale, seed int64) *Table {
 	}
 	for _, c := range evaluationCodes() {
 		sp := obs.Span("table3/" + c.Name)
-		het := combinedUEC(c.Code, 50, true, false, sc.Shots, seed)
-		hom := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed)
+		het, hetCI := combinedUEC(c.Code, 50, true, false, sc.Shots, seed)
+		hom, homCI := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed)
 		pt := 0.0
 		if !c.Native {
 			// Pseudothresholds are reported for the serialized module on
@@ -97,6 +107,7 @@ func Table3(sc Scale, seed int64) *Table {
 		t.Rows = append(t.Rows, Row{
 			Label:  c.Name,
 			Values: []float64{pt, het, hom, hom / het},
+			CIs:    []*stats.Interval{nil, hetCI, homCI, nil},
 		})
 		sp.End()
 	}

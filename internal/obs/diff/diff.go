@@ -1,0 +1,236 @@
+// Package diff compares two performance/accuracy artifacts — flight-
+// recorder JSONL runs (internal/obs/recorder) or BENCH_*.json baselines
+// (cmd/benchbaseline) — and flags shifts that exceed what the statistics
+// support: throughput drops beyond a relative tolerance, and logical-error-
+// rate increases whose Wilson confidence intervals do not overlap.
+//
+// It is the regression gate cmd/obsdiff wraps for CI: exit 0 when nothing
+// regressed, 1 on a regression, 2 when the artifacts are incomparable.
+package diff
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"hetarch/internal/obs/recorder"
+	"hetarch/internal/obs/stats"
+)
+
+// Rate is a sampled error proportion: k errors in n shots.
+type Rate struct {
+	Errors int64
+	Shots  int64
+}
+
+// Value returns the point estimate.
+func (r Rate) Value() float64 {
+	if r.Shots == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Shots)
+}
+
+// Source is an artifact normalized to comparable metrics.
+type Source struct {
+	Path  string
+	Kind  string // "bench" or "recorder"
+	Scale string // "quick"/"full" when the artifact declares one
+
+	Throughput map[string]float64 // experiment -> shots/sec
+	ErrorRates map[string]Rate    // experiment -> sampled error rate
+}
+
+// benchFile mirrors cmd/benchbaseline's output format.
+type benchFile struct {
+	Entries []struct {
+		Experiment  string  `json:"experiment"`
+		Scale       string  `json:"scale"`
+		Shots       int64   `json:"shots"`
+		WallSeconds float64 `json:"wall_seconds"`
+		ShotsPerSec float64 `json:"shots_per_sec"`
+	} `json:"entries"`
+}
+
+// Load reads an artifact, sniffing the format: a JSON object with an
+// "entries" array is a bench baseline; otherwise it must parse as a
+// recorder JSONL run.
+func Load(path string) (*Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f, path)
+}
+
+// Parse normalizes an artifact read from r (path is used for labels only).
+func Parse(r io.Reader, path string) (*Source, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var bench benchFile
+	if err := json.Unmarshal(raw, &bench); err == nil && len(bench.Entries) > 0 {
+		s := &Source{Path: path, Kind: "bench",
+			Throughput: map[string]float64{}, ErrorRates: map[string]Rate{}}
+		for _, e := range bench.Entries {
+			s.Throughput[e.Experiment] = e.ShotsPerSec
+			if s.Scale == "" {
+				s.Scale = e.Scale
+			}
+		}
+		return s, nil
+	}
+	run, err := recorder.Read(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("%s: not a bench baseline and not a recorder artifact: %w", path, err)
+	}
+	s := &Source{Path: path, Kind: "recorder", Scale: run.Header.Scale,
+		Throughput: map[string]float64{}, ErrorRates: map[string]Rate{}}
+	for _, b := range run.Batches {
+		if b.WallSeconds > 0 && b.Shots > 0 {
+			s.Throughput[b.Name] = float64(b.Shots) / b.WallSeconds
+		}
+		if b.Shots > 0 {
+			s.ErrorRates[b.Name] = Rate{Errors: b.Errors, Shots: b.Shots}
+		}
+	}
+	return s, nil
+}
+
+// Options tunes the comparison.
+type Options struct {
+	// Tolerance is the allowed relative throughput drop (0.2 = new may be
+	// up to 20% slower before it counts as a regression). Defaults to 0.2.
+	Tolerance float64
+	// Confidence is the Wilson CI level for error-rate comparison.
+	// Defaults to 0.95.
+	Confidence float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tolerance <= 0 {
+		o.Tolerance = 0.2
+	}
+	if o.Confidence <= 0 || o.Confidence >= 1 {
+		o.Confidence = 0.95
+	}
+	return o
+}
+
+// Finding is one compared metric.
+type Finding struct {
+	Metric     string // "throughput" or "error-rate"
+	Name       string // experiment/batch name
+	Old, New   float64
+	Regression bool
+	Detail     string
+}
+
+// Report is the comparison result.
+type Report struct {
+	Findings    []Finding
+	Compared    int
+	Regressions int
+}
+
+// ExitCode maps the report onto cmd/obsdiff's exit-code contract:
+// 0 clean, 1 regression.
+func (r *Report) ExitCode() int {
+	if r.Regressions > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Print renders the report as an aligned text listing, regressions
+// flagged with "REGRESSION".
+func (r *Report) Print(w io.Writer) {
+	for _, f := range r.Findings {
+		flag := "ok"
+		if f.Regression {
+			flag = "REGRESSION"
+		}
+		fmt.Fprintf(w, "%-11s %-10s %-10s old=%-12.6g new=%-12.6g %s\n",
+			flag, f.Metric, f.Name, f.Old, f.New, f.Detail)
+	}
+	fmt.Fprintf(w, "compared %d metrics, %d regression(s)\n", r.Compared, r.Regressions)
+}
+
+// Compare diffs new against old. It returns an error — the "incomparable"
+// outcome — when the artifacts declare different scales or share no metric
+// at all.
+func Compare(old, new *Source, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if old.Scale != "" && new.Scale != "" && old.Scale != new.Scale {
+		return nil, fmt.Errorf("incomparable: %s is %s-scale, %s is %s-scale",
+			old.Path, old.Scale, new.Path, new.Scale)
+	}
+	rep := &Report{}
+
+	for _, name := range commonKeys(old.Throughput, new.Throughput) {
+		o, n := old.Throughput[name], new.Throughput[name]
+		f := Finding{Metric: "throughput", Name: name, Old: o, New: n}
+		if n < o*(1-opts.Tolerance) {
+			f.Regression = true
+			f.Detail = fmt.Sprintf("dropped %.1f%% (> %.0f%% tolerance)",
+				100*(1-n/o), 100*opts.Tolerance)
+		} else {
+			f.Detail = fmt.Sprintf("%+.1f%%", 100*(n/o-1))
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+
+	for _, name := range commonRateKeys(old.ErrorRates, new.ErrorRates) {
+		o, n := old.ErrorRates[name], new.ErrorRates[name]
+		oCI := stats.BinomialCI(o.Errors, o.Shots, opts.Confidence)
+		nCI := stats.BinomialCI(n.Errors, n.Shots, opts.Confidence)
+		f := Finding{Metric: "error-rate", Name: name, Old: o.Value(), New: n.Value()}
+		if nCI.Lo > oCI.Hi {
+			f.Regression = true
+			f.Detail = fmt.Sprintf("CIs disjoint: old [%.3g, %.3g] vs new [%.3g, %.3g]",
+				oCI.Lo, oCI.Hi, nCI.Lo, nCI.Hi)
+		} else {
+			f.Detail = fmt.Sprintf("within CI: old [%.3g, %.3g] vs new [%.3g, %.3g]",
+				oCI.Lo, oCI.Hi, nCI.Lo, nCI.Hi)
+		}
+		rep.Findings = append(rep.Findings, f)
+	}
+
+	rep.Compared = len(rep.Findings)
+	if rep.Compared == 0 {
+		return nil, fmt.Errorf("incomparable: %s and %s share no metric", old.Path, new.Path)
+	}
+	for _, f := range rep.Findings {
+		if f.Regression {
+			rep.Regressions++
+		}
+	}
+	return rep, nil
+}
+
+func commonKeys(a, b map[string]float64) []string {
+	var out []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func commonRateKeys(a, b map[string]Rate) []string {
+	var out []string
+	for k := range a {
+		if _, ok := b[k]; ok {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 )
@@ -74,6 +75,24 @@ type HistSnapshot struct {
 	P50   int64   `json:"p50"`
 	P90   int64   `json:"p90"`
 	P99   int64   `json:"p99"`
+
+	// Buckets holds the raw per-bucket counts, trimmed after the last
+	// non-zero bucket. Buckets[0] counts observations v ≤ 0; Buckets[b]
+	// (b ≥ 1) counts 2^(b-1) ≤ v < 2^b. The Prometheus renderer turns
+	// these into cumulative le-buckets (exact for int64 observations:
+	// bucket b's inclusive upper bound is 2^b − 1).
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket idx for
+// integer observations: 0 for idx 0, 2^idx − 1 otherwise (as float64; exact
+// up to idx 53, approximate beyond — far past any duration this repo
+// observes).
+func BucketUpperBound(idx int) float64 {
+	if idx <= 0 {
+		return 0
+	}
+	return math.Ldexp(1, idx) - 1
 }
 
 // bucketMid returns the representative value for bucket idx: the midpoint
@@ -100,14 +119,25 @@ func (h *Histogram) snapshot() HistSnapshot {
 		return s
 	}
 	s.Mean = float64(s.Sum) / float64(s.Count)
+	last := -1
+	var counts [65]int64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), counts[:last+1]...)
+	}
 	quantile := func(q float64) int64 {
 		target := int64(q * float64(s.Count))
 		if target < 1 {
 			target = 1
 		}
 		var cum int64
-		for i := range h.buckets {
-			cum += h.buckets[i].Load()
+		for i := range counts {
+			cum += counts[i]
 			if cum >= target {
 				return bucketMid(i)
 			}

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): every counter as a `counter`, every gauge as a
+// `gauge`, and every histogram as a cumulative-bucket `histogram` with
+// `_bucket{le=...}`, `_sum` and `_count` series. Metric names have their
+// dots mapped to underscores ("surface.shots" → "surface_shots"); output is
+// sorted by name, so equal snapshots render byte-identically.
+//
+// The exponential buckets are exact for the int64 observations this repo
+// records: bucket b holds 2^(b-1) ≤ v < 2^b, so its inclusive le bound is
+// 2^b − 1 (le="0" for the v ≤ 0 bucket). Only buckets up to the last
+// non-zero one are emitted, plus the mandatory le="+Inf".
+func (s Snapshot) WritePrometheus(w io.Writer) {
+	names := func(m int) []string {
+		var out []string
+		switch m {
+		case 0:
+			for name := range s.Counters {
+				out = append(out, name)
+			}
+		case 1:
+			for name := range s.Gauges {
+				out = append(out, name)
+			}
+		default:
+			for name := range s.Histograms {
+				out = append(out, name)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+
+	for _, name := range names(0) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, s.Counters[name])
+	}
+	for _, name := range names(1) {
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %s\n", pn, promFloat(s.Gauges[name]))
+	}
+	for _, name := range names(2) {
+		h := s.Histograms[name]
+		pn := promName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, c := range h.Buckets {
+			cum += c
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(BucketUpperBound(i)), cum)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count)
+		fmt.Fprintf(w, "%s_sum %d\n", pn, h.Sum)
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count)
+	}
+}
+
+// promName maps a dot-separated metric name onto the Prometheus name
+// charset [a-zA-Z0-9_:], replacing every other rune with '_'.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z',
+			r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// promFloat renders a float without exponent-notation surprises for the
+// integer-valued bounds this repo emits.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,225 @@
+// Package recorder is the run flight recorder: it journals an experiment
+// run to a JSONL artifact from which the run can be audited or reproduced —
+// the config and seeds that produced it, the toolchain and git revision it
+// was built from, per-batch shot/error counts with wall time, and the final
+// metrics snapshot.
+//
+// The artifact is line-oriented so a crashed run still leaves every batch
+// written before the crash. Each line is one JSON object discriminated by
+// its "type" field:
+//
+//	{"type":"header", ...}   exactly one, first line
+//	{"type":"batch",  ...}   one per completed experiment batch
+//	{"type":"final",  ...}   at most one, last line
+//
+// Unknown types are skipped on read, so future fields and record kinds
+// stay backward-compatible with older readers (cmd/obsdiff).
+package recorder
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"hetarch/internal/obs"
+)
+
+// Header identifies the run: what was asked for, with which seeds, built
+// from which source revision — everything needed to regenerate the figure
+// the run produced.
+type Header struct {
+	Type        string   `json:"type"` // "header"
+	Tool        string   `json:"tool"`
+	Experiment  string   `json:"experiment"`
+	Scale       string   `json:"scale"` // "quick" or "full"
+	Seed        int64    `json:"seed"`
+	Args        []string `json:"args,omitempty"`
+	GoVersion   string   `json:"go_version"`
+	GitRevision string   `json:"git_revision,omitempty"`
+	GitDirty    bool     `json:"git_dirty,omitempty"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	StartedAt   string   `json:"started_at"` // RFC3339
+}
+
+// Batch is one completed unit of work (one experiment runner in the CLI):
+// its wall time and the shot/error counter deltas it produced.
+type Batch struct {
+	Type        string  `json:"type"` // "batch"
+	Name        string  `json:"name"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Shots       int64   `json:"shots"`
+	Errors      int64   `json:"errors"`
+	// TotalShots is the cumulative shot count after this batch, so partial
+	// artifacts still show absolute progress.
+	TotalShots int64 `json:"total_shots"`
+}
+
+// Final closes the run: total wall time, the full metrics snapshot, and the
+// run error if it failed.
+type Final struct {
+	Type        string       `json:"type"` // "final"
+	WallSeconds float64      `json:"wall_seconds"`
+	Err         string       `json:"error,omitempty"`
+	Metrics     obs.Snapshot `json:"metrics"`
+}
+
+// NewHeader fills a Header with the build/host facts (go version, git
+// revision via debug.ReadBuildInfo, GOOS/GOARCH/NumCPU) and the start time.
+func NewHeader(tool, experiment, scale string, seed int64, args []string) Header {
+	h := Header{
+		Type:       "header",
+		Tool:       tool,
+		Experiment: experiment,
+		Scale:      scale,
+		Seed:       seed,
+		Args:       args,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		StartedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				h.GitRevision = s.Value
+			case "vcs.modified":
+				h.GitDirty = s.Value == "true"
+			}
+		}
+	}
+	return h
+}
+
+// Writer journals records to an io.Writer, one JSON object per line.
+// Methods are safe for concurrent use; each record is flushed as soon as it
+// is written so a crash cannot lose completed batches.
+type Writer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (w *Writer) write(rec any) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(rec); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}
+
+// WriteHeader writes the header record (first line of the artifact).
+func (w *Writer) WriteHeader(h Header) error {
+	h.Type = "header"
+	return w.write(h)
+}
+
+// WriteBatch appends a batch record.
+func (w *Writer) WriteBatch(b Batch) error {
+	b.Type = "batch"
+	return w.write(b)
+}
+
+// WriteFinal appends the final record.
+func (w *Writer) WriteFinal(f Final) error {
+	f.Type = "final"
+	return w.write(f)
+}
+
+// Run is a parsed artifact.
+type Run struct {
+	Header  Header
+	Batches []Batch
+	Final   *Final
+}
+
+// TotalShots sums the batch shot deltas.
+func (r *Run) TotalShots() int64 {
+	var n int64
+	for _, b := range r.Batches {
+		n += b.Shots
+	}
+	return n
+}
+
+// TotalErrors sums the batch error deltas.
+func (r *Run) TotalErrors() int64 {
+	var n int64
+	for _, b := range r.Batches {
+		n += b.Errors
+	}
+	return n
+}
+
+// Read parses a JSONL artifact. It requires the header to be the first
+// record, tolerates a missing final record (crashed or in-flight run), and
+// skips record types it does not know.
+func Read(r io.Reader) (*Run, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // final snapshots can be large
+	run := &Run{}
+	sawHeader := false
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, fmt.Errorf("recorder: line %d: %w", line, err)
+		}
+		switch probe.Type {
+		case "header":
+			if sawHeader {
+				return nil, fmt.Errorf("recorder: line %d: duplicate header", line)
+			}
+			if err := json.Unmarshal(raw, &run.Header); err != nil {
+				return nil, fmt.Errorf("recorder: line %d: %w", line, err)
+			}
+			sawHeader = true
+		case "batch":
+			var b Batch
+			if err := json.Unmarshal(raw, &b); err != nil {
+				return nil, fmt.Errorf("recorder: line %d: %w", line, err)
+			}
+			run.Batches = append(run.Batches, b)
+		case "final":
+			var f Final
+			if err := json.Unmarshal(raw, &f); err != nil {
+				return nil, fmt.Errorf("recorder: line %d: %w", line, err)
+			}
+			run.Final = &f
+		default:
+			// Unknown record kind: forward compatibility, skip.
+		}
+		if !sawHeader {
+			return nil, fmt.Errorf("recorder: line %d: first record must be the header", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("recorder: %w", err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("recorder: empty artifact")
+	}
+	return run, nil
+}

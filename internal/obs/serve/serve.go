@@ -1,0 +1,170 @@
+// Package serve exposes the obs telemetry substrate over HTTP: the live
+// telemetry surface a production-scale DSE service needs while a long sweep
+// is in flight. Endpoints:
+//
+//	/metrics        Prometheus text exposition of the metric registry
+//	                (counters, gauges, histograms with cumulative buckets)
+//	/progress       current heartbeat state as JSON; with ?sse=1 or an
+//	                Accept: text/event-stream header, a Server-Sent-Events
+//	                stream of heartbeat ticks
+//	/spans          the live span tree as JSON
+//	/debug/pprof/*  the standard net/http/pprof handlers
+//	/               plain-text index of the above
+//
+// Everything is stdlib-only and read-only: handlers snapshot shared state
+// under the obs package's own synchronization, so serving during a run
+// perturbs it no more than the -metrics flag does.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"hetarch/internal/obs"
+)
+
+// Options selects the telemetry sources. Nil fields disable the
+// corresponding endpoints (they respond 503).
+type Options struct {
+	Registry  *obs.Registry
+	Tracer    *obs.Tracer
+	Heartbeat *obs.Heartbeat
+}
+
+// Handler builds the telemetry mux for the given sources.
+func Handler(opts Options) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "hetarch telemetry")
+		fmt.Fprintln(w, "  /metrics         prometheus text exposition")
+		fmt.Fprintln(w, "  /progress        heartbeat JSON (?sse=1 for an SSE stream)")
+		fmt.Fprintln(w, "  /spans           span tree JSON")
+		fmt.Fprintln(w, "  /debug/pprof/    go profiling endpoints")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Registry == nil {
+			http.Error(w, "no metric registry", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		opts.Registry.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		hb := opts.Heartbeat
+		if hb == nil {
+			http.Error(w, "no heartbeat (run with -progress or -listen)", http.StatusServiceUnavailable)
+			return
+		}
+		if r.URL.Query().Get("sse") != "" || r.Header.Get("Accept") == "text/event-stream" {
+			serveSSE(w, r, hb)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(hb.Last())
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Tracer == nil {
+			http.Error(w, "no tracer", http.StatusServiceUnavailable)
+			return
+		}
+		b, err := opts.Tracer.JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// serveSSE streams heartbeat updates as Server-Sent Events until the
+// heartbeat stops or the client disconnects. The first event is the current
+// state, so a late subscriber is never blind until the next tick.
+func serveSSE(w http.ResponseWriter, r *http.Request, hb *obs.Heartbeat) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	send := func(u obs.ProgressUpdate) bool {
+		b, err := json.Marshal(u)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	if !send(hb.Last()) {
+		return
+	}
+	ch, cancel := hb.Subscribe()
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case u, ok := <-ch:
+			if !ok {
+				return // heartbeat stopped: run is over
+			}
+			if !send(u) {
+				return
+			}
+		}
+	}
+}
+
+// Server is a running telemetry server.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves the
+// telemetry mux in a background goroutine. The listen error is returned
+// synchronously so a bad -listen flag fails the CLI immediately.
+func Start(addr string, opts Options) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry listen %s: %w", addr, err)
+	}
+	s := &Server{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           Handler(opts),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down immediately, dropping open SSE streams.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hetarch/internal/obs"
+)
+
+func testOptions() (Options, *obs.Registry, *obs.Tracer) {
+	reg := obs.NewRegistry()
+	reg.Counter("surface.shots").Add(640)
+	reg.Histogram("sched.event_lat_ns").Observe(1500)
+	tr := obs.NewTracer()
+	tr.SetEnabled(true)
+	sp := tr.Start("fig9")
+	child := tr.Start("fig9/Steane")
+	child.End()
+	sp.End()
+	return Options{Registry: reg, Tracer: tr}, reg, tr
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	opts, _, _ := testOptions()
+	ts := httptest.NewServer(Handler(opts))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	for _, want := range []string{
+		"# TYPE surface_shots counter",
+		"surface_shots 640",
+		"# TYPE sched_event_lat_ns histogram",
+		`sched_event_lat_ns_bucket{le="+Inf"} 1`,
+		"sched_event_lat_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in /metrics:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpansEndpoint(t *testing.T) {
+	opts, _, _ := testOptions()
+	ts := httptest.NewServer(Handler(opts))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/spans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var spans []*obs.TraceSpan
+	if err := json.NewDecoder(resp.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "fig9" || len(spans[0].Children) != 1 {
+		t.Fatalf("span tree %+v", spans)
+	}
+}
+
+func TestProgressJSONAndSSE(t *testing.T) {
+	opts, reg, _ := testOptions()
+	shots := reg.Counter("surface.shots")
+	hb := obs.StartHeartbeat(io.Discard, 5*time.Millisecond, 10000, shots.Value)
+	defer hb.Stop()
+	opts.Heartbeat = hb
+
+	ts := httptest.NewServer(Handler(opts))
+	defer ts.Close()
+
+	// Plain JSON.
+	resp, err := http.Get(ts.URL + "/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var u obs.ProgressUpdate
+	if err := json.NewDecoder(resp.Body).Decode(&u); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if u.Done != 640 || u.Total != 10000 {
+		t.Fatalf("progress %+v", u)
+	}
+
+	// SSE stream: the first event arrives immediately, further ticks follow.
+	resp, err = http.Get(ts.URL + "/progress?sse=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	shots.Add(100)
+	sc := bufio.NewScanner(resp.Body)
+	events := 0
+	for sc.Scan() && events < 2 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev obs.ProgressUpdate
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatalf("bad SSE payload %q: %v", line, err)
+		}
+		if ev.Done < 640 {
+			t.Fatalf("SSE update went backwards: %+v", ev)
+		}
+		events++
+	}
+	if events < 2 {
+		t.Fatalf("saw %d SSE events, want >= 2", events)
+	}
+}
+
+func TestDisabledEndpointsReturn503(t *testing.T) {
+	ts := httptest.NewServer(Handler(Options{}))
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/progress", "/spans"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestIndexAndPprof(t *testing.T) {
+	opts, _, _ := testOptions()
+	ts := httptest.NewServer(Handler(opts))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "/metrics") {
+		t.Fatalf("index missing endpoint list:\n%s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestStartAndClose(t *testing.T) {
+	opts, _, _ := testOptions()
+	srv, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Start("256.256.256.256:0", opts); err == nil {
+		t.Fatal("bad address must fail synchronously")
+	}
+}

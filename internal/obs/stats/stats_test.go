@@ -1,0 +1,144 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.975, 1.959964},
+		{0.995, 2.575829},
+		{0.5, 0},
+		{0.025, -1.959964},
+	}
+	for _, c := range cases {
+		got := normQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialCIMidRange(t *testing.T) {
+	// 50/1000: interval brackets the point estimate roughly symmetrically.
+	iv := BinomialCI(50, 1000, 0.95)
+	if iv.Lo >= 0.05 || iv.Hi <= 0.05 {
+		t.Fatalf("interval %+v must bracket 0.05", iv)
+	}
+	if iv.Lo < 0.035 || iv.Hi > 0.07 {
+		t.Fatalf("interval %+v implausibly wide for n=1000", iv)
+	}
+	// Higher confidence widens the interval.
+	wider := BinomialCI(50, 1000, 0.99)
+	if wider.Half() <= iv.Half() {
+		t.Fatalf("99%% interval %+v not wider than 95%% %+v", wider, iv)
+	}
+	// More trials at the same rate narrow it.
+	narrower := BinomialCI(500, 10000, 0.95)
+	if narrower.Half() >= iv.Half() {
+		t.Fatalf("n=10000 interval %+v not narrower than n=1000 %+v", narrower, iv)
+	}
+}
+
+func TestBinomialCIZeroErrors(t *testing.T) {
+	iv := BinomialCI(0, 1500, 0.95)
+	if iv.Lo != 0 {
+		t.Fatalf("k=0 must pin Lo to 0, got %+v", iv)
+	}
+	if iv.Hi <= 0 || iv.Hi > 0.01 {
+		t.Fatalf("k=0, n=1500 upper bound %g should be small but positive", iv.Hi)
+	}
+}
+
+func TestBinomialCIAllErrors(t *testing.T) {
+	iv := BinomialCI(1500, 1500, 0.95)
+	if iv.Hi != 1 {
+		t.Fatalf("k=n must pin Hi to 1, got %+v", iv)
+	}
+	if iv.Lo >= 1 || iv.Lo < 0.99 {
+		t.Fatalf("k=n=1500 lower bound %g should be just below 1", iv.Lo)
+	}
+}
+
+func TestBinomialCIOneShot(t *testing.T) {
+	// A single trial carries almost no information: both outcomes must
+	// produce an interval covering most of [0, 1].
+	for _, k := range []int64{0, 1} {
+		iv := BinomialCI(k, 1, 0.95)
+		if iv.Hi-iv.Lo < 0.7 {
+			t.Fatalf("k=%d, n=1 interval %+v too confident", k, iv)
+		}
+		if iv.Lo < 0 || iv.Hi > 1 {
+			t.Fatalf("k=%d, n=1 interval %+v out of [0,1]", k, iv)
+		}
+	}
+}
+
+func TestBinomialCIDegenerateInputs(t *testing.T) {
+	if iv := BinomialCI(3, 0, 0.95); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("n=0 must be vacuous, got %+v", iv)
+	}
+	if iv := BinomialCI(-2, 10, 0.95); iv.Lo != 0 {
+		t.Fatalf("negative k must clamp, got %+v", iv)
+	}
+	if iv := BinomialCI(20, 10, 0.95); iv.Hi != 1 {
+		t.Fatalf("k>n must clamp, got %+v", iv)
+	}
+	// Bad confidence falls back to 95%.
+	want := BinomialCI(5, 100, 0.95)
+	if got := BinomialCI(5, 100, 0); got != want {
+		t.Fatalf("confidence fallback: got %+v, want %+v", got, want)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 0.1, Hi: 0.3}
+	if got := iv.Scaled(2); got.Lo != 0.2 || got.Hi != 0.6 {
+		t.Fatalf("Scaled: %+v", got)
+	}
+	if got := iv.Shifted(0.4, 0.5); got.Lo != 0.5 || got.Hi != 0.5 {
+		t.Fatalf("Shifted clamp: %+v", got)
+	}
+	if got := iv.Shifted(-0.2, 0); got.Lo != 0 || math.Abs(got.Hi-0.1) > 1e-12 {
+		t.Fatalf("Shifted floor: %+v", got)
+	}
+	if got := iv.Map(func(v float64) float64 { return v * v }); math.Abs(got.Lo-0.01) > 1e-12 || math.Abs(got.Hi-0.09) > 1e-12 {
+		t.Fatalf("Map: %+v", got)
+	}
+	if !iv.Disjoint(Interval{Lo: 0.4, Hi: 0.5}) {
+		t.Fatal("disjoint intervals reported overlapping")
+	}
+	if iv.Disjoint(Interval{Lo: 0.25, Hi: 0.5}) {
+		t.Fatal("overlapping intervals reported disjoint")
+	}
+}
+
+func TestBinomialCICoverageMonteCarlo(t *testing.T) {
+	// Deterministic LCG coverage check: the 95% interval for p=0.1, n=400
+	// should cover the true rate in roughly 95% of resamples.
+	const trials, n = 2000, 400
+	const p = 0.1
+	state := uint64(12345)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	covered := 0
+	for tr := 0; tr < trials; tr++ {
+		k := int64(0)
+		for i := 0; i < n; i++ {
+			if next() < p {
+				k++
+			}
+		}
+		iv := BinomialCI(k, n, 0.95)
+		if iv.Lo <= p && p <= iv.Hi {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.92 || frac > 0.98 {
+		t.Fatalf("coverage %.3f outside [0.92, 0.98]", frac)
+	}
+}

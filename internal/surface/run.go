@@ -6,6 +6,7 @@ import (
 
 	"hetarch/internal/decoder"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/stabsim"
 )
 
@@ -98,11 +99,32 @@ func (r Result) ShotErrorRate() float64 {
 // PerCycleErrorRate converts the per-shot rate to a per-cycle rate using the
 // standard (1−2ε) compounding convention.
 func (r Result) PerCycleErrorRate() float64 {
-	eps := r.ShotErrorRate()
+	return PerCycle(r.ShotErrorRate(), r.Rounds)
+}
+
+// PerCycle converts a per-shot logical error rate over the given number of
+// syndrome rounds into a per-cycle rate via the (1−2ε) compounding
+// convention. It is monotone in eps, which lets confidence-interval
+// endpoints be mapped through it directly.
+func PerCycle(eps float64, rounds int) float64 {
 	if eps >= 0.5 {
 		return 0.5
 	}
-	return (1 - math.Pow(1-2*eps, 1/float64(r.Rounds))) / 2
+	return (1 - math.Pow(1-2*eps, 1/float64(rounds))) / 2
+}
+
+// ShotErrorCI returns the Wilson confidence interval on the per-shot
+// logical error rate at the given confidence level.
+func (r Result) ShotErrorCI(confidence float64) stats.Interval {
+	return stats.BinomialCI(int64(r.LogicalErrors), int64(r.Shots), confidence)
+}
+
+// PerCycleCI maps the per-shot interval through the monotone per-cycle
+// transform, giving a confidence interval on PerCycleErrorRate.
+func (r Result) PerCycleCI(confidence float64) stats.Interval {
+	return r.ShotErrorCI(confidence).Map(func(eps float64) float64 {
+		return PerCycle(eps, r.Rounds)
+	})
 }
 
 // Run samples the experiment with the bit-parallel batch frame sampler

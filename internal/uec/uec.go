@@ -17,6 +17,7 @@ import (
 
 	"hetarch/internal/decoder"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/stats"
 	"hetarch/internal/qec"
 	"hetarch/internal/stabsim"
 	"hetarch/internal/topology"
@@ -498,6 +499,12 @@ type Result struct {
 // measured sector.
 func (r Result) LogicalErrorRate() float64 {
 	return float64(r.LogicalErrors) / float64(r.Shots)
+}
+
+// CI returns the Wilson confidence interval on LogicalErrorRate at the
+// given confidence level.
+func (r Result) CI(confidence float64) stats.Interval {
+	return stats.BinomialCI(int64(r.LogicalErrors), int64(r.Shots), confidence)
 }
 
 // Run samples the experiment with the bit-parallel batch sampler and
