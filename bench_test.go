@@ -9,6 +9,7 @@ package hetarch
 // For paper-scale output use the CLI instead: go run ./cmd/hetarch all
 
 import (
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -237,6 +238,25 @@ func BenchmarkDistillationThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i)
 		distill.NewModule(cfg).Run(2000)
+	}
+}
+
+// BenchmarkSurfaceSharded measures the mc engine's worker-count scaling on
+// the d=5 surface-code memory experiment — 4096 shots sampled and decoded
+// per iteration at 1/2/4/8 workers. The counts are bit-identical across the
+// sub-benchmarks (the engine's determinism contract); only wall time moves,
+// so the scaling curve shows up directly in future BENCH snapshots.
+func BenchmarkSurfaceSharded(b *testing.B) {
+	e, err := surface.New(surface.DefaultParams(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.RunSharded(4096, int64(i), workers)
+			}
+		})
 	}
 }
 

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchbaseline [-o BENCH_baseline.json] [-seed N]
+//	go run ./cmd/benchbaseline [-o BENCH_baseline.json] [-seed N] [-workers N]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hetarch/internal/experiments"
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 )
 
@@ -33,20 +34,27 @@ type Entry struct {
 
 // Baseline is the file format.
 type Baseline struct {
-	RecordedAt string  `json:"recorded_at"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	NumCPU     int     `json:"num_cpu"`
-	Entries    []Entry `json:"entries"`
+	RecordedAt string `json:"recorded_at"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	// Workers is the effective mc worker count the baseline was measured
+	// at. Monte Carlo results are worker-count independent, so this only
+	// contextualizes the throughput numbers (obsdiff annotates comparisons
+	// across differing counts).
+	Workers int     `json:"workers"`
+	Entries []Entry `json:"entries"`
 }
 
 func main() {
 	out := flag.String("o", "BENCH_baseline.json", "output file")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	workers := flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = NumCPU)")
 	flag.Parse()
 
 	sc := experiments.Quick()
+	sc.Workers = *workers
 	runners := []struct {
 		name string
 		run  func()
@@ -61,6 +69,7 @@ func main() {
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		Workers:    mc.ResolveWorkers(*workers),
 	}
 	for _, r := range runners {
 		// Warm shared caches (lookup tables) so the measurement reflects

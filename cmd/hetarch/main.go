@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"hetarch/internal/experiments"
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/recorder"
 	"hetarch/internal/obs/serve"
@@ -48,6 +49,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("hetarch", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced Monte Carlo effort (CI scale)")
 	seed := fs.Int64("seed", 1, "base RNG seed")
+	workers := fs.Int("workers", 0, "Monte Carlo worker goroutines (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
 	metrics := fs.Bool("metrics", false, "print telemetry (counter snapshot + span tree) to stderr after the run")
 	progress := fs.Bool("progress", false, "heartbeat on stderr with shots/sec and ETA")
@@ -67,6 +69,7 @@ func run(args []string) error {
 	if *quick {
 		sc = experiments.Quick()
 	}
+	sc.Workers = *workers
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -121,7 +124,7 @@ func run(args []string) error {
 		if *quick {
 			scaleName = "quick"
 		}
-		if err := rec.WriteHeader(recorder.NewHeader("hetarch", name, scaleName, *seed, args)); err != nil {
+		if err := rec.WriteHeader(recorder.NewHeader("hetarch", name, scaleName, *seed, mc.ResolveWorkers(*workers), args)); err != nil {
 			return fmt.Errorf("record: %w", err)
 		}
 	}

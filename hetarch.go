@@ -266,9 +266,11 @@ func NewUECParams(code *Code, tsMillis float64, heterogeneous bool) UECParams {
 // NewUECModule compiles a UEC experiment.
 func NewUECModule(p UECParams) (*UECModule, error) { return uec.New(p) }
 
-// UECPseudothreshold locates the module's gate-error break-even point.
+// UECPseudothreshold locates the module's gate-error break-even point,
+// sampling each grid point on all cores (the fitted value is worker-count
+// independent; see internal/mc).
 func UECPseudothreshold(base UECParams, shots int, seed int64) (float64, bool) {
-	return uec.Pseudothreshold(base, shots, seed)
+	return uec.Pseudothreshold(base, shots, seed, 0)
 }
 
 // Code teleportation (Section 4.3).

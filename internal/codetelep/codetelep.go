@@ -49,6 +49,11 @@ type Params struct {
 
 	Shots int // Monte Carlo shots per UEC sub-module evaluation
 	Seed  int64
+
+	// Workers is the mc engine's goroutine count for the UEC sub-module
+	// runs and the distillation ensemble (<= 0 means runtime.NumCPU()).
+	// Results are worker-count independent.
+	Workers int
 }
 
 // DefaultParams returns the Section 4.3 setup for a code pair.
@@ -211,10 +216,12 @@ func Evaluate(p Params) (*Result, error) {
 	return res, nil
 }
 
-// distillEPs runs the event-driven distillation sub-module and returns the
-// delivered EP infidelity and delivery rate, or ok=false when the module
-// cannot reach the target fidelity at this generation rate (the paper's
-// failed homogeneous cases).
+// distillEPs runs an ensemble of event-driven distillation trajectories and
+// returns the delivered EP infidelity and mean delivery rate, or ok=false
+// when the module cannot reach the target fidelity at this generation rate
+// (the paper's failed homogeneous cases). Three replicas smooth the
+// single-trajectory shot noise of the pass/fail call; the pooled threshold
+// is the single-trajectory one scaled by the replica count.
 func (p Params) distillEPs() (infidelity, ratePerSecond float64, ok bool) {
 	cfg := distill.DefaultConfig(p.TsMillis, p.Heterogeneous)
 	cfg.Seed = p.Seed
@@ -222,8 +229,9 @@ func (p Params) distillEPs() (infidelity, ratePerSecond float64, ok bool) {
 	cfg.RawInfidelity = p.EPRawInfidelity
 	cfg.TargetFidelity = p.TargetEPFidelity
 	cfg.ConsumeAtThreshold = true
-	stats := distill.NewModule(cfg).Run(20000) // 20 ms horizon
-	if stats.Delivered < 5 {
+	const replicas = 3
+	stats := distill.RunEnsemble(cfg, replicas, 20000, p.Workers) // 20 ms horizon each
+	if stats.Delivered < 5*replicas {
 		return 1, 0, false
 	}
 	// Delivered pairs are at or slightly above target; charge the target
@@ -247,7 +255,7 @@ func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, durat
 		if uerr != nil {
 			return 0, 0, 0, 0, uerr
 		}
-		r := e.Run(p.Shots, p.Seed)
+		r := e.RunSharded(p.Shots, p.Seed, p.Workers)
 		total += r.LogicalErrorRate()
 		errs += int64(r.LogicalErrors)
 		shots += int64(r.Shots)

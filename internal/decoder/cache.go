@@ -14,27 +14,54 @@ import (
 // lifetimes times two bases. Memoizing the table turns eleven of those
 // twelve BFS enumerations into cache hits — the same once-per-configuration
 // principle the paper applies to cell characterization.
+//
+// The cache is shared by every mc worker goroutine, so it must be safe and
+// *single-flight* under concurrency: a sync.Map alone would admit N workers
+// racing into N duplicate BFS builds of the same table on a cold key. Each
+// key instead owns a sync.Once; the mutex only guards the brief entry
+// insertion, and the winner builds the table inside the Once while the
+// losers block on it and then share the result.
 var (
-	lookupCache  sync.Map // canonical key -> *Lookup
+	lookupMu     sync.Mutex
+	lookupCache  = make(map[string]*lookupEntry)
 	lookupHits   = obs.C("decoder.lookup_cache.hits")
 	lookupMisses = obs.C("decoder.lookup_cache.misses")
 )
 
+type lookupEntry struct {
+	once sync.Once
+	l    *Lookup
+}
+
 // CachedLookup returns a shared lookup decoder for the check-mask set,
-// building it on first use. Callers must treat the result as read-only
-// (Decode and Syndrome are; nothing in this repo mutates a built table).
+// building it on first use. It is safe to call from any number of
+// goroutines; concurrent calls for the same key build the table exactly
+// once. Callers must treat the result as read-only (Decode and Syndrome
+// are; nothing in this repo mutates a built table).
 func CachedLookup(n int, checkMasks []uint64) *Lookup {
-	var key strings.Builder
-	fmt.Fprintf(&key, "%d", n)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d", n)
 	for _, m := range checkMasks {
-		fmt.Fprintf(&key, ":%x", m)
+		fmt.Fprintf(&sb, ":%x", m)
 	}
-	if v, ok := lookupCache.Load(key.String()); ok {
+	key := sb.String()
+
+	lookupMu.Lock()
+	e, ok := lookupCache[key]
+	if !ok {
+		e = &lookupEntry{}
+		lookupCache[key] = e
+	}
+	lookupMu.Unlock()
+
+	built := false
+	e.once.Do(func() {
+		built = true
+		lookupMisses.Inc()
+		e.l = NewLookup(n, checkMasks)
+	})
+	if !built {
 		lookupHits.Inc()
-		return v.(*Lookup)
 	}
-	lookupMisses.Inc()
-	l := NewLookup(n, checkMasks)
-	actual, _ := lookupCache.LoadOrStore(key.String(), l)
-	return actual.(*Lookup)
+	return e.l
 }

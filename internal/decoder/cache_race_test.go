@@ -1,0 +1,72 @@
+package decoder
+
+import (
+	"sync"
+	"testing"
+)
+
+// hamming7Checks is the Hamming(7,4) parity-check set, the same family the
+// UEC experiments feed through CachedLookup.
+var hamming7Checks = []uint64{0x55, 0x33, 0x0F}
+
+// TestCachedLookupConcurrent hammers the cache from 8 goroutines racing on
+// both a cold key and warm keys. Run with -race: the point is that the
+// single-flight build and the hit/miss counters are data-race-free and that
+// every caller observes the same table pointer.
+func TestCachedLookupConcurrent(t *testing.T) {
+	// Distinct mask sets so the test exercises cold-build races on several
+	// keys, not just contention on one.
+	maskSets := [][]uint64{
+		hamming7Checks,
+		{0x0F, 0x33},
+		{0x55, 0x66},
+		{0x7F},
+	}
+	const goroutines = 8
+	const itersPerG = 200
+
+	got := make([][]*Lookup, goroutines)
+	var start, done sync.WaitGroup
+	start.Add(1)
+	done.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		got[g] = make([]*Lookup, len(maskSets))
+		go func(g int) {
+			defer done.Done()
+			start.Wait()
+			for it := 0; it < itersPerG; it++ {
+				for m, masks := range maskSets {
+					l := CachedLookup(7, masks)
+					if l == nil {
+						t.Error("nil lookup")
+						return
+					}
+					if got[g][m] == nil {
+						got[g][m] = l
+					} else if got[g][m] != l {
+						t.Error("cache returned distinct tables for one key")
+						return
+					}
+					// Exercise the shared table concurrently too, using a
+					// syndrome that is achievable for this check set.
+					syn := l.Syndrome(1 << uint(it%7))
+					c := l.Decode(syn)
+					if l.Syndrome(c) != syn {
+						t.Error("decode/syndrome mismatch")
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	start.Done()
+	done.Wait()
+	// All goroutines must share one table per key.
+	for m := range maskSets {
+		for g := 1; g < goroutines; g++ {
+			if got[g][m] != got[0][m] {
+				t.Fatalf("mask set %d: goroutines observed different tables", m)
+			}
+		}
+	}
+}

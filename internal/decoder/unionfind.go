@@ -91,6 +91,14 @@ func NewUnionFind(g *Graph) *UnionFind {
 	return u
 }
 
+// Clone returns an independent decoder over the same (shared, read-only)
+// graph. Decode mutates per-call scratch (cluster forest, growth fronts), so
+// each mc worker needs its own instance; a fresh build is equivalent to a
+// deep copy because Decode resets all scratch on entry.
+func (u *UnionFind) Clone() *UnionFind {
+	return NewUnionFind(u.g)
+}
+
 func (u *UnionFind) find(x int) int {
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]]

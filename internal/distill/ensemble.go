@@ -1,0 +1,61 @@
+package distill
+
+import (
+	"hetarch/internal/mc"
+)
+
+// EnsembleStats pools the counters of several independent module
+// trajectories. Counts are sums; the delivered rate averages over replicas
+// (each replica simulates the same horizon, so the mean rate equals the
+// pooled delivered count over the pooled simulated time).
+type EnsembleStats struct {
+	Replicas      int
+	HorizonMicros float64
+
+	Generated   int
+	Stored      int
+	DroppedFull int
+	Attempts    int
+	Successes   int
+	Delivered   int
+}
+
+// DeliveredRatePerSecond returns delivered pairs per second of simulated
+// time, averaged over the ensemble.
+func (s EnsembleStats) DeliveredRatePerSecond() float64 {
+	if s.HorizonMicros <= 0 || s.Replicas <= 0 {
+		return 0
+	}
+	return float64(s.Delivered) / (float64(s.Replicas) * s.HorizonMicros * 1e-6)
+}
+
+// RunEnsemble simulates `replicas` independent trajectories of the module
+// over the same horizon and pools their statistics. The event-driven
+// simulator cannot batch shots the way the frame samplers do, so here the mc
+// engine shards at one trajectory per shard: replica i runs with the
+// deterministic stream seed mc.StreamSeed(cfg.Seed, i), making the pooled
+// stats bit-identical for any worker count (workers <= 0 means
+// runtime.NumCPU()).
+func RunEnsemble(cfg Config, replicas int, horizonMicros float64, workers int) EnsembleStats {
+	if replicas < 1 {
+		replicas = 1
+	}
+	mcCfg := mc.Config{Shots: replicas, Seed: cfg.Seed, Workers: workers, ShardSize: 1}
+	perReplica := mc.MapShards(mcCfg, func() func(mc.Shard) Stats {
+		return func(sh mc.Shard) Stats {
+			c := cfg
+			c.Seed = sh.Seed
+			return NewModule(c).Run(horizonMicros)
+		}
+	})
+	pooled := EnsembleStats{Replicas: len(perReplica), HorizonMicros: horizonMicros}
+	for _, s := range perReplica {
+		pooled.Generated += s.Generated
+		pooled.Stored += s.Stored
+		pooled.DroppedFull += s.DroppedFull
+		pooled.Attempts += s.Attempts
+		pooled.Successes += s.Successes
+		pooled.Delivered += s.Delivered
+	}
+	return pooled
+}

@@ -1,0 +1,40 @@
+package distill
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRunEnsembleDeterministicAcrossWorkerCounts(t *testing.T) {
+	cfg := DefaultConfig(12.5, true)
+	cfg.Seed = 5
+	base := RunEnsemble(cfg, 6, 5000, 1)
+	if base.Replicas != 6 {
+		t.Fatalf("replica accounting wrong: %+v", base)
+	}
+	if base.Generated == 0 {
+		t.Fatal("ensemble generated nothing")
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := RunEnsemble(cfg, 6, 5000, w); got != base {
+			t.Fatalf("workers=%d: %+v != workers=1 %+v", w, got, base)
+		}
+	}
+	if again := RunEnsemble(cfg, 6, 5000, 4); again != base {
+		t.Fatal("ensemble not reproducible")
+	}
+}
+
+func TestRunEnsemblePoolsAcrossReplicas(t *testing.T) {
+	cfg := DefaultConfig(12.5, true)
+	cfg.Seed = 7
+	one := RunEnsemble(cfg, 1, 5000, 1)
+	three := RunEnsemble(cfg, 3, 5000, 1)
+	if three.Delivered < one.Delivered {
+		t.Fatalf("pooled delivered (%d) below single replica (%d)", three.Delivered, one.Delivered)
+	}
+	// The mean rate stays in the same regime as a single trajectory.
+	if one.Delivered > 0 && three.DeliveredRatePerSecond() <= 0 {
+		t.Fatal("mean rate lost")
+	}
+}

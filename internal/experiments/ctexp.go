@@ -10,11 +10,12 @@ import (
 // ctPair returns a configured CT evaluation for two evaluation codes: the
 // CT-state logical error probability and its 95% confidence interval (nil
 // when distillation failed and the probability is the deterministic 1/2).
-func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64) (float64, *stats.Interval) {
+func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64, workers int) (float64, *stats.Interval) {
 	p := codetelep.DefaultParams(a.Code, b.Code, tsMillis, het)
 	p.NativeA, p.NativeB = a.Native, b.Native
 	p.Shots = shots
 	p.Seed = seed
+	p.Workers = workers
 	r, err := codetelep.Evaluate(p)
 	if err != nil {
 		panic(err)
@@ -42,7 +43,7 @@ func Fig12(sc Scale, seed int64) *Table {
 	for _, ts := range []float64{1, 5, 10, 25, 50} {
 		row := Row{Label: "Ts=" + strconv.FormatFloat(ts, 'g', -1, 64) + "ms"}
 		for _, pr := range pairs {
-			v, ci := ctPair(pr[0], pr[1], ts, true, sc.Shots, seed)
+			v, ci := ctPair(pr[0], pr[1], ts, true, sc.Shots, seed, sc.Workers)
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}
@@ -62,8 +63,8 @@ func Table4(sc Scale, seed int64) *Table {
 	}
 	for i := range codes {
 		for j := i + 1; j < len(codes); j++ {
-			het, hetCI := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed)
-			hom, homCI := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed)
+			het, hetCI := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed, sc.Workers)
+			hom, homCI := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed, sc.Workers)
 			t.Rows = append(t.Rows, Row{
 				Label:  codes[i].Name + " & " + codes[j].Name,
 				Values: []float64{het, hom, hom / het},

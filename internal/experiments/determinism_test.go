@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// Fig9 drives the sharded UEC runner through the Scale.Workers knob; the
+// full table must be bit-identical at any worker count.
+func TestFig9DeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := Quick()
+	sc.Shots = 768 // keep the 5-code x 6-Ts x 2-basis sweep fast
+
+	run := func(workers int) *Table {
+		s := sc
+		s.Workers = workers
+		return Fig9(s, 3)
+	}
+	base := run(1)
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d: table differs from workers=1", w)
+		}
+	}
+	if again := run(4); !reflect.DeepEqual(again, base) {
+		t.Fatal("Fig9 not reproducible at a fixed worker count")
+	}
+}

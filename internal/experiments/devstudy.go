@@ -53,7 +53,7 @@ func DeviceStudy(sc Scale, seed int64) *Table {
 			panic(err)
 		}
 		p.P2 = g.Error
-		v, ci := perCycleBothBases(p, sc.Shots, seed)
+		v, ci := perCycleBothBases(p, sc.Shots, seed, sc.Workers)
 		t.Rows = append(t.Rows, Row{
 			Label:  c.name,
 			Values: []float64{v},

@@ -18,6 +18,12 @@ type Scale struct {
 	Shots          int     // stabilizer Monte Carlo shots per point
 	DistillHorizon float64 // µs of simulated time per distillation point
 	MaxDistance    int     // largest surface-code distance in sweeps
+
+	// Workers is the mc engine's goroutine count for every shot-shaped
+	// runner (<= 0 means runtime.NumCPU()). Results are worker-count
+	// independent — the engine's deterministic seed streams guarantee
+	// bit-identical pooled counts at any setting.
+	Workers int
 }
 
 // Full returns publication-scale settings.

@@ -14,7 +14,7 @@ import (
 // sectors into one binomial sample, maps the per-shot endpoints through the
 // monotone per-cycle transform, and scales by two — matching the sum of the
 // two sector estimates.
-func perCycleBothBases(p surface.Params, shots int, seed int64) (float64, *stats.Interval) {
+func perCycleBothBases(p surface.Params, shots int, seed int64, workers int) (float64, *stats.Interval) {
 	total := 0.0
 	var errs, n int64
 	rounds := 1
@@ -25,7 +25,7 @@ func perCycleBothBases(p surface.Params, shots int, seed int64) (float64, *stats
 		if err != nil {
 			panic(err)
 		}
-		r := e.Run(shots, seed)
+		r := e.RunSharded(shots, seed, workers)
 		total += r.PerCycleErrorRate()
 		errs += int64(r.LogicalErrors)
 		n += int64(r.Shots)
@@ -55,8 +55,8 @@ func Fig6(sc Scale, seed int64) *Table {
 		pd.TcdMicros = 100 * a
 		pa := surface.DefaultParams(d)
 		pa.TcaMicros = 100 * a
-		vd, cid := perCycleBothBases(pd, sc.Shots, seed)
-		va, cia := perCycleBothBases(pa, sc.Shots, seed)
+		vd, cid := perCycleBothBases(pd, sc.Shots, seed, sc.Workers)
+		va, cia := perCycleBothBases(pa, sc.Shots, seed, sc.Workers)
 		t.Rows = append(t.Rows, Row{
 			Label:  label,
 			Values: []float64{a, vd, va},
@@ -89,7 +89,7 @@ func Fig7(sc Scale, seed int64) *Table {
 		for _, r := range ratios {
 			p := surface.DefaultParams(d)
 			p.TcdMicros = 100 * r
-			v, ci := perCycleBothBases(p, sc.Shots, seed)
+			v, ci := perCycleBothBases(p, sc.Shots, seed, sc.Workers)
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}

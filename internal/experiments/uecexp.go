@@ -35,7 +35,7 @@ func evaluationCodes() []evalCode {
 // module for one code, with its 95% Wilson confidence interval (the two
 // equal-shot sectors pooled into one binomial sample, scaled by two to
 // match the sum of the sector estimates).
-func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64) (float64, *stats.Interval) {
+func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64, workers int) (float64, *stats.Interval) {
 	total := 0.0
 	var errs, n int64
 	for _, basis := range []byte{'Z', 'X'} {
@@ -46,7 +46,7 @@ func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, 
 		if err != nil {
 			panic(err)
 		}
-		r := e.Run(shots, seed)
+		r := e.RunSharded(shots, seed, workers)
 		total += r.LogicalErrorRate()
 		errs += int64(r.LogicalErrors)
 		n += int64(r.Shots)
@@ -68,7 +68,7 @@ func Fig9(sc Scale, seed int64) *Table {
 		sp := obs.Span("fig9/" + c.Name)
 		row := Row{Label: c.Name}
 		for _, ts := range tsValues {
-			v, ci := combinedUEC(c.Code, ts, true, false, sc.Shots, seed)
+			v, ci := combinedUEC(c.Code, ts, true, false, sc.Shots, seed, sc.Workers)
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}
@@ -93,14 +93,14 @@ func Table3(sc Scale, seed int64) *Table {
 	}
 	for _, c := range evaluationCodes() {
 		sp := obs.Span("table3/" + c.Name)
-		het, hetCI := combinedUEC(c.Code, 50, true, false, sc.Shots, seed)
-		hom, homCI := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed)
+		het, hetCI := combinedUEC(c.Code, 50, true, false, sc.Shots, seed, sc.Workers)
+		hom, homCI := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed, sc.Workers)
 		pt := 0.0
 		if !c.Native {
 			// Pseudothresholds are reported for the serialized module on
 			// the non-lattice-native codes (the paper marks the surface
 			// codes "—": their figure of merit is the threshold).
-			if v, ok := uec.Pseudothreshold(uec.DefaultParams(c.Code, 50, true), ptShots, seed); ok {
+			if v, ok := uec.Pseudothreshold(uec.DefaultParams(c.Code, 50, true), ptShots, seed, sc.Workers); ok {
 				pt = v
 			}
 		}

@@ -40,12 +40,20 @@ type Source struct {
 	Kind  string // "bench" or "recorder"
 	Scale string // "quick"/"full" when the artifact declares one
 
+	// Workers is the mc worker count the artifact was recorded at (0 when
+	// the artifact predates the sharded engine). Differing worker counts do
+	// not make artifacts incomparable — results are worker-independent and
+	// throughput is what the comparison is for — but throughput findings
+	// are annotated so a speedup/slowdown can be attributed.
+	Workers int
+
 	Throughput map[string]float64 // experiment -> shots/sec
 	ErrorRates map[string]Rate    // experiment -> sampled error rate
 }
 
 // benchFile mirrors cmd/benchbaseline's output format.
 type benchFile struct {
+	Workers int `json:"workers"`
 	Entries []struct {
 		Experiment  string  `json:"experiment"`
 		Scale       string  `json:"scale"`
@@ -75,7 +83,7 @@ func Parse(r io.Reader, path string) (*Source, error) {
 	}
 	var bench benchFile
 	if err := json.Unmarshal(raw, &bench); err == nil && len(bench.Entries) > 0 {
-		s := &Source{Path: path, Kind: "bench",
+		s := &Source{Path: path, Kind: "bench", Workers: bench.Workers,
 			Throughput: map[string]float64{}, ErrorRates: map[string]Rate{}}
 		for _, e := range bench.Entries {
 			s.Throughput[e.Experiment] = e.ShotsPerSec
@@ -90,6 +98,7 @@ func Parse(r io.Reader, path string) (*Source, error) {
 		return nil, fmt.Errorf("%s: not a bench baseline and not a recorder artifact: %w", path, err)
 	}
 	s := &Source{Path: path, Kind: "recorder", Scale: run.Header.Scale,
+		Workers:    run.Header.Workers,
 		Throughput: map[string]float64{}, ErrorRates: map[string]Rate{}}
 	for _, b := range run.Batches {
 		if b.WallSeconds > 0 && b.Shots > 0 {
@@ -172,15 +181,24 @@ func Compare(old, new *Source, opts Options) (*Report, error) {
 	}
 	rep := &Report{}
 
+	// Differing worker counts remain comparable (results are worker-count
+	// independent, and cross-worker-count throughput comparison is exactly
+	// how the parallel speedup is measured) but every throughput finding
+	// carries the annotation so shifts can be attributed.
+	workersNote := ""
+	if old.Workers != new.Workers && (old.Workers != 0 || new.Workers != 0) {
+		workersNote = fmt.Sprintf(" [workers: %d -> %d]", old.Workers, new.Workers)
+	}
+
 	for _, name := range commonKeys(old.Throughput, new.Throughput) {
 		o, n := old.Throughput[name], new.Throughput[name]
 		f := Finding{Metric: "throughput", Name: name, Old: o, New: n}
 		if n < o*(1-opts.Tolerance) {
 			f.Regression = true
-			f.Detail = fmt.Sprintf("dropped %.1f%% (> %.0f%% tolerance)",
-				100*(1-n/o), 100*opts.Tolerance)
+			f.Detail = fmt.Sprintf("dropped %.1f%% (> %.0f%% tolerance)%s",
+				100*(1-n/o), 100*opts.Tolerance, workersNote)
 		} else {
-			f.Detail = fmt.Sprintf("%+.1f%%", 100*(n/o-1))
+			f.Detail = fmt.Sprintf("%+.1f%%%s", 100*(n/o-1), workersNote)
 		}
 		rep.Findings = append(rep.Findings, f)
 	}

@@ -34,7 +34,7 @@ func writeRecorderRun(t *testing.T, dir, name, scale string, shots, errors int64
 	}
 	defer f.Close()
 	w := recorder.NewWriter(f)
-	h := recorder.NewHeader("hetarch", "fig9", scale, 1, nil)
+	h := recorder.NewHeader("hetarch", "fig9", scale, 1, 1, nil)
 	if err := w.WriteHeader(h); err != nil {
 		t.Fatal(err)
 	}

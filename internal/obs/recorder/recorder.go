@@ -45,7 +45,12 @@ type Header struct {
 	GOOS        string   `json:"goos"`
 	GOARCH      string   `json:"goarch"`
 	NumCPU      int      `json:"num_cpu"`
-	StartedAt   string   `json:"started_at"` // RFC3339
+	// Workers is the mc engine's worker count for the run (0 in artifacts
+	// predating the sharded engine). It never affects results, only
+	// throughput, so obsdiff treats runs at different worker counts as
+	// comparable but annotates the difference.
+	Workers   int    `json:"workers,omitempty"`
+	StartedAt string `json:"started_at"` // RFC3339
 }
 
 // Batch is one completed unit of work (one experiment runner in the CLI):
@@ -71,8 +76,9 @@ type Final struct {
 }
 
 // NewHeader fills a Header with the build/host facts (go version, git
-// revision via debug.ReadBuildInfo, GOOS/GOARCH/NumCPU) and the start time.
-func NewHeader(tool, experiment, scale string, seed int64, args []string) Header {
+// revision via debug.ReadBuildInfo, GOOS/GOARCH/NumCPU), the effective mc
+// worker count, and the start time.
+func NewHeader(tool, experiment, scale string, seed int64, workers int, args []string) Header {
 	h := Header{
 		Type:       "header",
 		Tool:       tool,
@@ -84,6 +90,7 @@ func NewHeader(tool, experiment, scale string, seed int64, args []string) Header
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
 		StartedAt:  time.Now().UTC().Format(time.RFC3339),
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {

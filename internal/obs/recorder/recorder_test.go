@@ -13,7 +13,7 @@ func TestRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
 
-	h := NewHeader("hetarch", "fig9", "quick", 42, []string{"-quick", "-record", "run.jsonl"})
+	h := NewHeader("hetarch", "fig9", "quick", 42, 4, []string{"-quick", "-record", "run.jsonl"})
 	if h.GoVersion != runtime.Version() || h.StartedAt == "" {
 		t.Fatalf("header not self-describing: %+v", h)
 	}
@@ -63,7 +63,7 @@ func TestReadTruncatedRun(t *testing.T) {
 	// A crashed run has a header and some batches but no final record.
 	var buf bytes.Buffer
 	w := NewWriter(&buf)
-	w.WriteHeader(NewHeader("hetarch", "all", "full", 1, nil))
+	w.WriteHeader(NewHeader("hetarch", "all", "full", 1, 1, nil))
 	w.WriteBatch(Batch{Name: "fig3", WallSeconds: 1, Shots: 10})
 	run, err := Read(&buf)
 	if err != nil {

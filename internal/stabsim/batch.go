@@ -46,6 +46,11 @@ func NewBatchFrameSampler(c *Circuit, rng *rand.Rand) *BatchFrameSampler {
 	}
 }
 
+// SetRNG swaps the sampler's randomness source. The mc engine uses this to
+// point a worker-owned sampler at each shard's deterministic stream without
+// rebuilding the frame and record buffers.
+func (b *BatchFrameSampler) SetRNG(rng *rand.Rand) { b.rng = rng }
+
 // BatchResult carries 64 shots: bit s of Detectors[d] is detector d's event
 // in shot s, and likewise for Observables.
 type BatchResult struct {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"hetarch/internal/decoder"
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/stats"
 	"hetarch/internal/stabsim"
@@ -130,33 +131,53 @@ func (r Result) PerCycleCI(confidence float64) stats.Interval {
 // Run samples the experiment with the bit-parallel batch frame sampler
 // (64 shots per pass), decodes every shot with the union–find decoder, and
 // counts logical errors (decoder prediction disagreeing with the true
-// observable flip).
+// observable flip). It is RunSharded at one worker: the same shard streams
+// run inline, so counts match a parallel run bit for bit.
 func (e *Experiment) Run(shots int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	bs := stabsim.NewBatchFrameSampler(e.Circuit, rng)
-	res := Result{Shots: shots, Rounds: e.Params.Rounds}
-	defects := make([]bool, e.Graph.NumNodes)
-	for done := 0; done < shots; {
-		batch := bs.SampleBatch()
-		n := 64
-		if shots-done < n {
-			n = shots - done
-		}
-		for s := 0; s < n; s++ {
-			for d := range defects {
-				defects[d] = batch.Detectors[d]>>uint(s)&1 == 1
+	return e.RunSharded(shots, seed, 1)
+}
+
+// RunSharded distributes the shot budget across worker goroutines via the mc
+// engine. Each worker owns a sampler and a cloned union–find decoder; each
+// shard re-seeds the worker's sampler with its deterministic stream, so the
+// pooled (shots, errors) are bit-identical for any worker count (workers <= 0
+// means runtime.NumCPU(), 1 runs serially on the calling goroutine). The obs
+// counters advance once per shard, keeping the progress heartbeat live
+// without per-shot atomics.
+func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
+	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
+	tally := mc.Run(cfg, func() mc.ShardRunner {
+		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(0)))
+		uf := e.uf.Clone()
+		defects := make([]bool, e.Graph.NumNodes)
+		return func(sh mc.Shard) mc.Tally {
+			bs.SetRNG(sh.RNG())
+			var t mc.Tally
+			for done := 0; done < sh.Shots; {
+				batch := bs.SampleBatch()
+				n := 64
+				if sh.Shots-done < n {
+					n = sh.Shots - done
+				}
+				for s := 0; s < n; s++ {
+					for d := range defects {
+						defects[d] = batch.Detectors[d]>>uint(s)&1 == 1
+					}
+					pred := uf.Decode(defects)
+					actual := batch.Observables[0]>>uint(s)&1 == 1
+					if (pred&1 == 1) != actual {
+						t.Errors++
+					}
+				}
+				done += n
 			}
-			pred := e.uf.Decode(defects)
-			actual := batch.Observables[0]>>uint(s)&1 == 1
-			if (pred&1 == 1) != actual {
-				res.LogicalErrors++
-			}
+			t.Shots = int64(sh.Shots)
+			surfShots.Add(t.Shots)
+			surfErrors.Add(t.Errors)
+			return t
 		}
-		done += n
-		surfShots.Add(int64(n))
-	}
-	surfErrors.Add(int64(res.LogicalErrors))
-	return res
+	})
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors), Rounds: e.Params.Rounds}
 }
 
 // Sampler pairs a frame sampler with the experiment's decoder so shots can
@@ -177,57 +198,4 @@ func (s *Sampler) SampleAndDecode() bool {
 	pred := s.e.uf.Decode(shot.Detectors)
 	actual := shot.Observables[0]
 	return (pred&1 == 1) != actual
-}
-
-// RunParallel distributes shots across the given number of worker
-// goroutines, each with an independent RNG stream and decoder instance, and
-// aggregates the logical error count. Results for a fixed (seed, workers)
-// pair are deterministic; different worker counts draw different streams.
-func (e *Experiment) RunParallel(shots int, seed int64, workers int) Result {
-	if workers <= 1 || shots < 2*64 {
-		return e.Run(shots, seed)
-	}
-	per := shots / workers
-	extra := shots % workers
-	type partial struct{ errors int }
-	out := make(chan partial, workers)
-	for w := 0; w < workers; w++ {
-		n := per
-		if w < extra {
-			n++
-		}
-		go func(w, n int) {
-			rng := rand.New(rand.NewSource(seed + int64(w)*1_000_003))
-			bs := stabsim.NewBatchFrameSampler(e.Circuit, rng)
-			uf := decoder.NewUnionFind(e.Graph)
-			defects := make([]bool, e.Graph.NumNodes)
-			errs := 0
-			for done := 0; done < n; {
-				batch := bs.SampleBatch()
-				k := 64
-				if n-done < k {
-					k = n - done
-				}
-				for s := 0; s < k; s++ {
-					for d := range defects {
-						defects[d] = batch.Detectors[d]>>uint(s)&1 == 1
-					}
-					pred := uf.Decode(defects)
-					actual := batch.Observables[0]>>uint(s)&1 == 1
-					if (pred&1 == 1) != actual {
-						errs++
-					}
-				}
-				done += k
-				surfShots.Add(int64(k))
-			}
-			surfErrors.Add(int64(errs))
-			out <- partial{errors: errs}
-		}(w, n)
-	}
-	res := Result{Shots: shots, Rounds: e.Params.Rounds}
-	for w := 0; w < workers; w++ {
-		res.LogicalErrors += (<-out).errors
-	}
-	return res
 }

@@ -2,6 +2,7 @@ package surface
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"hetarch/internal/obs"
@@ -183,45 +184,53 @@ func TestXBasisExperimentRuns(t *testing.T) {
 	}
 }
 
-func TestRunParallelMatchesSerialStatistics(t *testing.T) {
+func TestRunShardedDeterministicAcrossWorkerCounts(t *testing.T) {
 	p := DefaultParams(3)
 	e, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial := e.Run(4000, 5).ShotErrorRate()
-	parallel := e.RunParallel(4000, 5, 4).ShotErrorRate()
-	if parallel < serial/2 || parallel > serial*2 {
-		t.Fatalf("parallel rate %v vs serial %v", parallel, serial)
+	serial := e.RunSharded(4000, 5, 1)
+	if serial.Shots != 4000 {
+		t.Fatalf("shot accounting wrong: %+v", serial)
 	}
-	// Deterministic for fixed (seed, workers).
-	again := e.RunParallel(4000, 5, 4).ShotErrorRate()
-	if again != parallel {
-		t.Fatal("parallel run not reproducible")
+	for _, w := range []int{4, runtime.NumCPU(), 0} {
+		got := e.RunSharded(4000, 5, w)
+		if got != serial {
+			t.Fatalf("workers=%d: %+v != workers=1 %+v", w, got, serial)
+		}
+	}
+	// Run is the engine at one worker, so it matches too.
+	if got := e.Run(4000, 5); got != serial {
+		t.Fatalf("Run %+v != RunSharded(…, 1) %+v", got, serial)
+	}
+	// Two runs at the same worker count are bit-identical.
+	if again := e.RunSharded(4000, 5, 4); again != serial {
+		t.Fatal("sharded run not reproducible")
 	}
 }
 
-func TestRunParallelFallsBackForSmallJobs(t *testing.T) {
+func TestRunShardedSmallJobIdenticalAtAnyWorkerCount(t *testing.T) {
 	p := DefaultParams(2)
 	e, err := New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	a := e.Run(50, 9)
-	b := e.RunParallel(50, 9, 8) // too small: must match Run exactly
-	if a.LogicalErrors != b.LogicalErrors {
-		t.Fatal("small-job fallback should be identical to Run")
+	a := e.Run(50, 9) // one partial shard
+	b := e.RunSharded(50, 9, 8)
+	if a.LogicalErrors != b.LogicalErrors || a.Shots != b.Shots {
+		t.Fatal("small jobs must be identical at any worker count")
 	}
 }
 
-func BenchmarkRunParallel(b *testing.B) {
+func BenchmarkRunSharded(b *testing.B) {
 	e, err := New(DefaultParams(5))
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.RunParallel(4096, int64(i), 4)
+		e.RunSharded(4096, int64(i), 4)
 	}
 }
 
@@ -250,10 +259,10 @@ func TestRunCountsShots(t *testing.T) {
 	if d := obs.C("decoder.unionfind.decodes").Value() - decodes0; d != 130 {
 		t.Fatalf("decode counter delta %d, want 130", d)
 	}
-	// Parallel runs must account every worker's shots exactly once.
+	// Sharded runs must account every worker's shots exactly once.
 	shots1 := obs.C("surface.shots").Value()
-	e.RunParallel(1000, 1, 4)
+	e.RunSharded(1000, 1, 4)
 	if d := obs.C("surface.shots").Value() - shots1; d != 1000 {
-		t.Fatalf("parallel shot counter delta %d, want 1000", d)
+		t.Fatalf("sharded shot counter delta %d, want 1000", d)
 	}
 }

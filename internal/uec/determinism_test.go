@@ -1,0 +1,64 @@
+package uec
+
+import (
+	"runtime"
+	"testing"
+
+	"hetarch/internal/qec"
+)
+
+// The mc engine's contract, checked at this package's level: pooled
+// (shots, errors) are identical for workers = 1, 4, and NumCPU at a fixed
+// seed, and repeated runs at one worker count are bit-identical.
+func TestRunShardedDeterministicAcrossWorkerCounts(t *testing.T) {
+	e, err := New(DefaultParams(qec.Steane(), 25, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := e.RunSharded(3000, 11, 1)
+	if base.Shots != 3000 {
+		t.Fatalf("shot accounting wrong: %+v", base)
+	}
+	for _, w := range []int{4, runtime.NumCPU(), 0} {
+		if got := e.RunSharded(3000, 11, w); got != base {
+			t.Fatalf("workers=%d: %+v != workers=1 %+v", w, got, base)
+		}
+	}
+	if got := e.Run(3000, 11); got != base {
+		t.Fatalf("Run %+v != RunSharded(…, 1) %+v", got, base)
+	}
+	if again := e.RunSharded(3000, 11, 4); again != base {
+		t.Fatal("sharded run not reproducible")
+	}
+}
+
+func TestMemoryRunShardedDeterministicAcrossWorkerCounts(t *testing.T) {
+	m, err := NewMemory(DefaultParams(qec.Steane(), 25, true), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := m.RunSharded(600, 13, 1)
+	if base.Shots != 600 {
+		t.Fatalf("shot accounting wrong: %+v", base)
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := m.RunSharded(600, 13, w); got != base {
+			t.Fatalf("workers=%d: %+v != workers=1 %+v", w, got, base)
+		}
+	}
+	if again := m.RunSharded(600, 13, 4); again != base {
+		t.Fatal("sharded memory run not reproducible")
+	}
+}
+
+func TestPseudothresholdWorkerIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo grid fit")
+	}
+	base := DefaultParams(qec.Steane(), 50, true)
+	pt1, ok1 := Pseudothreshold(base, 1500, 21, 1)
+	pt4, ok4 := Pseudothreshold(base, 1500, 21, 4)
+	if ok1 != ok4 || pt1 != pt4 {
+		t.Fatalf("pseudothreshold depends on workers: (%v,%v) vs (%v,%v)", pt1, ok1, pt4, ok4)
+	}
+}

@@ -17,7 +17,10 @@ import "math"
 // It returns ok=false when the fit never crosses break-even from below
 // (b ≤ 1, or the crossing falls outside the sampled decade range) — e.g.
 // the surface codes on the serial module, which the paper marks "—".
-func Pseudothreshold(base Params, shots int, seed int64) (pt float64, ok bool) {
+//
+// workers is the mc engine's goroutine count per grid point (<= 0 means
+// runtime.NumCPU()); it never affects the fitted value.
+func Pseudothreshold(base Params, shots int, seed int64, workers int) (pt float64, ok bool) {
 	combined := func(p2 float64) float64 {
 		total := 0.0
 		for _, basis := range []byte{'Z', 'X'} {
@@ -32,7 +35,7 @@ func Pseudothreshold(base Params, shots int, seed int64) (pt float64, ok bool) {
 			if err != nil {
 				panic(err)
 			}
-			total += e.Run(shots, seed).LogicalErrorRate()
+			total += e.RunSharded(shots, seed, workers).LogicalErrorRate()
 		}
 		return total
 	}

@@ -6,6 +6,7 @@ import (
 	"math/bits"
 	"math/rand"
 
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 	"hetarch/internal/stabsim"
 )
@@ -158,34 +159,50 @@ func (m *MemoryExperiment) buildCircuit() {
 
 // Run samples the experiment and decodes sequentially. The returned result
 // counts shots where the accumulated correction disagrees with the true
-// observable flip.
+// observable flip. It is RunSharded at one worker, so counts match a
+// parallel run bit for bit.
 func (m *MemoryExperiment) Run(shots int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	fs := stabsim.NewFrameSampler(m.circuit, rng)
-	res := Result{Shots: shots}
+	return m.RunSharded(shots, seed, 1)
+}
+
+// RunSharded distributes the shot budget across worker goroutines via the mc
+// engine; each worker owns its scalar frame sampler (one shot here replays
+// the full R-round circuit, so scalar sampling is the right granularity).
+// Pooled (shots, errors) are bit-identical for any worker count.
+func (m *MemoryExperiment) RunSharded(shots int, seed int64, workers int) Result {
 	k := m.E.numChecks
-	for s := 0; s < shots; s++ {
-		memShots.Inc()
-		memRounds.Add(int64(m.Rounds) + 1)
-		shot := fs.Sample()
-		var correction uint64
-		for r := 0; r <= m.Rounds; r++ { // R noisy rounds + verification
-			var syn uint64
-			for i := 0; i < k; i++ {
-				if shot.Detectors[r*k+i] {
-					syn |= 1 << uint(i)
+	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
+	tally := mc.Run(cfg, func() mc.ShardRunner {
+		fs := stabsim.NewFrameSampler(m.circuit, rand.New(rand.NewSource(0)))
+		return func(sh mc.Shard) mc.Tally {
+			fs.SetRNG(sh.RNG())
+			var t mc.Tally
+			for s := 0; s < sh.Shots; s++ {
+				shot := fs.Sample()
+				var correction uint64
+				for r := 0; r <= m.Rounds; r++ { // R noisy rounds + verification
+					var syn uint64
+					for i := 0; i < k; i++ {
+						if shot.Detectors[r*k+i] {
+							syn |= 1 << uint(i)
+						}
+					}
+					resid := syn ^ m.E.lookup.Syndrome(correction)
+					correction ^= m.E.lookup.Decode(resid)
+				}
+				predicted := bits.OnesCount64(correction&m.E.logicalMask)%2 == 1
+				if predicted != shot.Observables[0] {
+					t.Errors++
 				}
 			}
-			resid := syn ^ m.E.lookup.Syndrome(correction)
-			correction ^= m.E.lookup.Decode(resid)
+			t.Shots = int64(sh.Shots)
+			memShots.Add(t.Shots)
+			memRounds.Add(t.Shots * int64(m.Rounds+1))
+			memErrors.Add(t.Errors)
+			return t
 		}
-		predicted := bits.OnesCount64(correction&m.E.logicalMask)%2 == 1
-		if predicted != shot.Observables[0] {
-			res.LogicalErrors++
-		}
-	}
-	memErrors.Add(int64(res.LogicalErrors))
-	return res
+	})
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}
 }
 
 // PerRoundErrorRate converts the per-shot failure probability to a

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 
 	"hetarch/internal/decoder"
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/stats"
 	"hetarch/internal/qec"
@@ -511,41 +512,57 @@ func (r Result) CI(confidence float64) stats.Interval {
 // decodes each shot with the two-stage exact lookup decoder: stage 1
 // corrects from the noisy round's syndrome, stage 2 from the verification
 // round's residual syndrome; a shot is a logical error when the combined
-// correction disagrees with the true observable flip.
+// correction disagrees with the true observable flip. It is RunSharded at
+// one worker, so counts match a parallel run bit for bit.
 func (e *Experiment) Run(shots int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	bs := stabsim.NewBatchFrameSampler(e.Circuit, rng)
-	res := Result{Shots: shots}
+	return e.RunSharded(shots, seed, 1)
+}
+
+// RunSharded distributes the shot budget across worker goroutines via the mc
+// engine. Workers own their batch samplers; the lookup decoder is immutable
+// after construction and shared read-only. Pooled (shots, errors) are
+// bit-identical for any worker count (<= 0 means runtime.NumCPU()).
+func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
 	k := e.numChecks
-	for done := 0; done < shots; {
-		batch := bs.SampleBatch()
-		n := 64
-		if shots-done < n {
-			n = shots - done
-		}
-		for s := 0; s < n; s++ {
-			var s1, sBoth uint64
-			for i := 0; i < k; i++ {
-				if batch.Detectors[i]>>uint(s)&1 == 1 {
-					s1 |= 1 << uint(i)
+	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
+	tally := mc.Run(cfg, func() mc.ShardRunner {
+		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(0)))
+		return func(sh mc.Shard) mc.Tally {
+			bs.SetRNG(sh.RNG())
+			var t mc.Tally
+			for done := 0; done < sh.Shots; {
+				batch := bs.SampleBatch()
+				n := 64
+				if sh.Shots-done < n {
+					n = sh.Shots - done
 				}
-				if batch.Detectors[k+i]>>uint(s)&1 == 1 {
-					sBoth |= 1 << uint(i)
+				for s := 0; s < n; s++ {
+					var s1, sBoth uint64
+					for i := 0; i < k; i++ {
+						if batch.Detectors[i]>>uint(s)&1 == 1 {
+							s1 |= 1 << uint(i)
+						}
+						if batch.Detectors[k+i]>>uint(s)&1 == 1 {
+							sBoth |= 1 << uint(i)
+						}
+					}
+					c1 := e.lookup.Decode(s1)
+					resid := sBoth ^ e.lookup.Syndrome(c1)
+					c2 := e.lookup.Decode(resid)
+					total := c1 ^ c2
+					predicted := bits.OnesCount64(total&e.logicalMask)%2 == 1
+					actual := batch.Observables[0]>>uint(s)&1 == 1
+					if predicted != actual {
+						t.Errors++
+					}
 				}
+				done += n
 			}
-			c1 := e.lookup.Decode(s1)
-			resid := sBoth ^ e.lookup.Syndrome(c1)
-			c2 := e.lookup.Decode(resid)
-			total := c1 ^ c2
-			predicted := bits.OnesCount64(total&e.logicalMask)%2 == 1
-			actual := batch.Observables[0]>>uint(s)&1 == 1
-			if predicted != actual {
-				res.LogicalErrors++
-			}
+			t.Shots = int64(sh.Shots)
+			uecShots.Add(t.Shots)
+			uecErrors.Add(t.Errors)
+			return t
 		}
-		done += n
-		uecShots.Add(int64(n))
-	}
-	uecErrors.Add(int64(res.LogicalErrors))
-	return res
+	})
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}
 }

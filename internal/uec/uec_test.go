@@ -208,7 +208,7 @@ func TestPseudothresholdSteane(t *testing.T) {
 		t.Skip("Monte Carlo bisection")
 	}
 	base := DefaultParams(qec.Steane(), 50, true)
-	pt, ok := Pseudothreshold(base, 3000, 21)
+	pt, ok := Pseudothreshold(base, 3000, 21, 0)
 	if !ok {
 		t.Fatal("Steane on the UEC should have a pseudothreshold")
 	}
