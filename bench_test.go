@@ -9,6 +9,7 @@ package hetarch
 // For paper-scale output use the CLI instead: go run ./cmd/hetarch all
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -43,49 +44,49 @@ func BenchmarkTable2StandardCells(b *testing.B) {
 
 func BenchmarkFig3DistillationTrace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig3(benchScale(), int64(i))
+		experiments.Fig3(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkFig4DistillationRateSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig4(benchScale(), int64(i))
+		experiments.Fig4(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkFig6SurfaceCodeCoherenceSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig6(benchScale(), int64(i))
+		experiments.Fig6(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkFig7SurfaceCodeDistanceSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig7(benchScale(), int64(i))
+		experiments.Fig7(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkFig9UECCodeSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig9(benchScale(), int64(i))
+		experiments.Fig9(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkTable3UECvsHomogeneous(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table3(benchScale(), int64(i))
+		experiments.Table3(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkFig12CodeTeleportationSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Fig12(benchScale(), int64(i))
+		experiments.Fig12(context.Background(), benchScale(), int64(i))
 	}
 }
 
 func BenchmarkTable4CodeTeleportationMatrix(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		experiments.Table4(benchScale(), int64(i))
+		experiments.Table4(context.Background(), benchScale(), int64(i))
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -55,12 +56,21 @@ func main() {
 
 	sc := experiments.Quick()
 	sc.Workers = *workers
+	ctx := context.Background()
 	runners := []struct {
 		name string
 		run  func()
 	}{
-		{"fig9", func() { experiments.Fig9(sc, *seed) }},
-		{"table3", func() { experiments.Table3(sc, *seed) }},
+		{"fig9", func() {
+			if _, err := experiments.Fig9(ctx, sc, *seed); err != nil {
+				fatal(err)
+			}
+		}},
+		{"table3", func() {
+			if _, err := experiments.Table3(ctx, sc, *seed); err != nil {
+				fatal(err)
+			}
+		}},
 	}
 
 	b := Baseline{

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	hetarch <experiment> [-quick] [-seed N] [-json] [-metrics] [-progress]
-//	        [-listen ADDR] [-record FILE] [-cpuprofile FILE] [-memprofile FILE]
+//	hetarch <experiment> [-quick] [-seed N] [-shots N] [-json] [-metrics]
+//	        [-progress] [-listen ADDR] [-record FILE] [-checkpoint FILE]
+//	        [-cpuprofile FILE] [-memprofile FILE]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
@@ -15,70 +16,136 @@
 // recorder artifact (config, seeds, git revision, per-batch counts, final
 // metrics) that cmd/obsdiff can diff against a baseline.
 //
+// -checkpoint makes the run resumable: completed Monte Carlo shards are
+// persisted to the given JSONL file, and an interrupted run (SIGINT/SIGTERM)
+// re-invoked with the same flags skips them, producing output bit-identical
+// to an uninterrupted run. Exit codes: 0 success, 1 runtime error, 2 usage
+// error, 3 interrupted (checkpoint, if any, flushed).
+//
 // Experiment results go to stdout; everything else — timing lines, the
 // -progress heartbeat, and the -metrics telemetry (counter snapshot plus
 // span tree) — goes to stderr, so `-json` output stays machine-parseable.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"hetarch/internal/experiments"
 	"hetarch/internal/mc"
+	"hetarch/internal/mc/checkpoint"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/recorder"
 	"hetarch/internal/obs/serve"
 )
 
+// Exit codes. Interrupted is distinct so scripts (and CI) can tell "killed
+// mid-run, checkpoint flushed, re-run to resume" from a real failure.
+const (
+	exitOK          = 0
+	exitError       = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "hetarch:", err)
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) error {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("hetarch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.Usage = func() { usage(fs, stderr) }
 	quick := fs.Bool("quick", false, "reduced Monte Carlo effort (CI scale)")
 	seed := fs.Int64("seed", 1, "base RNG seed")
+	shots := fs.Int("shots", 0, "override Monte Carlo shots per point (0 = scale default)")
 	workers := fs.Int("workers", 0, "Monte Carlo worker goroutines (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
 	metrics := fs.Bool("metrics", false, "print telemetry (counter snapshot + span tree) to stderr after the run")
 	progress := fs.Bool("progress", false, "heartbeat on stderr with shots/sec and ETA")
 	listen := fs.String("listen", "", "serve live telemetry over HTTP on `addr` (/metrics, /progress, /spans, /debug/pprof)")
 	record := fs.String("record", "", "journal the run to a JSONL flight-recorder artifact at `file`")
+	ckptPath := fs.String("checkpoint", "", "persist completed Monte Carlo shards to `file`; rerunning with the same flags resumes")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if len(args) == 0 {
-		usage(fs)
-		return fmt.Errorf("missing experiment name")
+		fmt.Fprintln(stderr, "hetarch: missing experiment name")
+		usage(fs, stderr)
+		return exitUsage
 	}
 	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
-		return err
+	if strings.HasPrefix(name, "-") {
+		fmt.Fprintf(stderr, "hetarch: first argument must be the experiment name, got flag %q\n", name)
+		usage(fs, stderr)
+		return exitUsage
 	}
+	if err := fs.Parse(args[1:]); err != nil {
+		return exitUsage // flag package already printed the problem to stderr
+	}
+
+	// Flag validation: misconfiguration is a usage error (exit 2), reported
+	// before any work starts.
+	shotsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "shots" {
+			shotsSet = true
+		}
+	})
+	if shotsSet && *shots <= 0 {
+		fmt.Fprintf(stderr, "hetarch: -shots must be positive, got %d\n", *shots)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "hetarch: -workers must be >= 0, got %d\n", *workers)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if !knownExperiment(name) {
+		fmt.Fprintf(stderr, "hetarch: unknown experiment %q\n", name)
+		usage(fs, stderr)
+		return exitUsage
+	}
+
 	sc := experiments.Full()
+	scaleName := "full"
 	if *quick {
 		sc = experiments.Quick()
+		scaleName = "quick"
+	}
+	if *shots > 0 {
+		sc.Shots = *shots
 	}
 	sc.Workers = *workers
+
+	// SIGINT/SIGTERM cancel the run context: the mc engine stops dispatching
+	// shards, in-flight shards finish (and checkpoint), and the run winds
+	// down through the same path as a normal exit — recorder flushed, server
+	// drained, heartbeat stopped.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			fmt.Fprintln(stderr, "hetarch: cpuprofile:", err)
+			return exitError
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			return fmt.Errorf("cpuprofile: %w", err)
+			fmt.Fprintln(stderr, "hetarch: cpuprofile:", err)
+			return exitError
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -93,7 +160,7 @@ func run(args []string) error {
 	if *progress || *listen != "" {
 		hbOut := io.Writer(io.Discard)
 		if *progress {
-			hbOut = os.Stderr
+			hbOut = stderr
 		}
 		hb = obs.StartHeartbeat(hbOut, 2*time.Second, approxTotal(name, sc), totalShots)
 		defer hb.Stop()
@@ -106,48 +173,69 @@ func run(args []string) error {
 			Heartbeat: hb,
 		})
 		if err != nil {
-			return fmt.Errorf("listen: %w", err)
+			fmt.Fprintln(stderr, "hetarch: listen:", err)
+			return exitError
 		}
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "telemetry: http://%s/ (metrics, progress, spans, debug/pprof)\n", srv.Addr())
+		// Graceful drain: SSE subscribers are disconnected, in-flight
+		// requests get up to 2s, then the server closes hard.
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(sctx)
+		}()
+		fmt.Fprintf(stderr, "telemetry: http://%s/ (metrics, progress, spans, debug/pprof)\n", srv.Addr())
 	}
 
-	var rec *recorder.Writer
-	if *record != "" {
-		f, err := os.Create(*record)
+	if *ckptPath != "" {
+		cp, err := checkpoint.Open(*ckptPath, checkpoint.NewMeta("hetarch", name, scaleName, *seed, *shots))
 		if err != nil {
-			return fmt.Errorf("record: %w", err)
+			fmt.Fprintln(stderr, "hetarch: checkpoint:", err)
+			return exitError
 		}
-		defer f.Close()
-		rec = recorder.NewWriter(f)
-		scaleName := "full"
-		if *quick {
-			scaleName = "quick"
+		if n := cp.Resumed(); n > 0 {
+			fmt.Fprintf(stderr, "checkpoint: resuming %s from %s (%d shards already done)\n", name, *ckptPath, n)
 		}
+		mc.SetCheckpoint(cp)
+		defer func() {
+			mc.SetCheckpoint(nil)
+			cp.Close()
+		}()
+	}
+
+	var rec *recorder.FileWriter
+	if *record != "" {
+		var err error
+		rec, err = recorder.CreateFile(*record)
+		if err != nil {
+			fmt.Fprintln(stderr, "hetarch: record:", err)
+			return exitError
+		}
+		defer rec.Close()
 		if err := rec.WriteHeader(recorder.NewHeader("hetarch", name, scaleName, *seed, mc.ResolveWorkers(*workers), args)); err != nil {
-			return fmt.Errorf("record: %w", err)
+			fmt.Fprintln(stderr, "hetarch: record:", err)
+			return exitError
 		}
 	}
 
-	emit := tablePrinter
+	emit := tablePrinter(stdout)
 	if *asJSON {
-		emit = tableJSON
+		emit = tableJSON(stdout)
 	}
 	runners := map[string]func() error{
-		"devices":  func() error { experiments.Table1(os.Stdout); return nil },
-		"cells":    func() error { return experiments.Table2(os.Stdout) },
-		"fig3":     emit(func() *experiments.Table { return experiments.Fig3(sc, *seed) }),
-		"fig4":     emit(func() *experiments.Table { return experiments.Fig4(sc, *seed) }),
-		"fig6":     emit(func() *experiments.Table { return experiments.Fig6(sc, *seed) }),
-		"fig7":     emit(func() *experiments.Table { return experiments.Fig7(sc, *seed) }),
-		"fig9":     emit(func() *experiments.Table { return experiments.Fig9(sc, *seed) }),
-		"table3":   emit(func() *experiments.Table { return experiments.Table3(sc, *seed) }),
-		"fig12":    emit(func() *experiments.Table { return experiments.Fig12(sc, *seed) }),
-		"table4":   emit(func() *experiments.Table { return experiments.Table4(sc, *seed) }),
-		"dse":      func() error { experiments.FprintDSE(os.Stdout); return nil },
-		"devstudy": emit(func() *experiments.Table { return experiments.DeviceStudy(sc, *seed) }),
-		"capacity": emit(func() *experiments.Table { return experiments.CapacitySweep(sc, *seed) }),
-		"protocol": func() error { return experiments.ProtocolCheck(os.Stdout, *seed) },
+		"devices":  func() error { experiments.Table1(stdout); return nil },
+		"cells":    func() error { return experiments.Table2(stdout) },
+		"fig3":     emit(func() (*experiments.Table, error) { return experiments.Fig3(ctx, sc, *seed) }),
+		"fig4":     emit(func() (*experiments.Table, error) { return experiments.Fig4(ctx, sc, *seed) }),
+		"fig6":     emit(func() (*experiments.Table, error) { return experiments.Fig6(ctx, sc, *seed) }),
+		"fig7":     emit(func() (*experiments.Table, error) { return experiments.Fig7(ctx, sc, *seed) }),
+		"fig9":     emit(func() (*experiments.Table, error) { return experiments.Fig9(ctx, sc, *seed) }),
+		"table3":   emit(func() (*experiments.Table, error) { return experiments.Table3(ctx, sc, *seed) }),
+		"fig12":    emit(func() (*experiments.Table, error) { return experiments.Fig12(ctx, sc, *seed) }),
+		"table4":   emit(func() (*experiments.Table, error) { return experiments.Table4(ctx, sc, *seed) }),
+		"dse":      func() error { experiments.FprintDSE(stdout); return nil },
+		"devstudy": emit(func() (*experiments.Table, error) { return experiments.DeviceStudy(ctx, sc, *seed) }),
+		"capacity": emit(func() (*experiments.Table, error) { return experiments.CapacitySweep(ctx, sc, *seed) }),
+		"protocol": func() error { return experiments.ProtocolCheck(stdout, *seed) },
 	}
 
 	runStart := time.Now()
@@ -174,8 +262,7 @@ func run(args []string) error {
 
 	var runErr error
 	if name == "all" {
-		order := []string{"devices", "cells", "fig3", "fig4", "fig6", "fig7", "fig9", "table3", "fig12", "table4", "dse", "devstudy", "capacity", "protocol"}
-		for _, n := range order {
+		for _, n := range allOrder {
 			start := time.Now()
 			if err := runOne(n); err != nil {
 				runErr = fmt.Errorf("%s: %w", n, err)
@@ -183,13 +270,10 @@ func run(args []string) error {
 			}
 			// Timing is telemetry: keep it off stdout so -json output (and
 			// any piped table output) stays clean.
-			fmt.Fprintf(os.Stderr, "-- %s done in %v --\n", n, time.Since(start).Round(time.Millisecond))
+			fmt.Fprintf(stderr, "-- %s done in %v --\n", n, time.Since(start).Round(time.Millisecond))
 		}
-	} else if _, ok := runners[name]; ok {
-		runErr = runOne(name)
 	} else {
-		usage(fs)
-		return fmt.Errorf("unknown experiment %q", name)
+		runErr = runOne(name)
 	}
 	if rec != nil {
 		final := recorder.Final{
@@ -199,7 +283,7 @@ func run(args []string) error {
 		if runErr != nil {
 			final.Err = runErr.Error()
 		}
-		if err := rec.WriteFinal(final); err != nil && runErr == nil {
+		if err := rec.FinalizeAtomic(final); err != nil && runErr == nil {
 			runErr = fmt.Errorf("record: %w", err)
 		}
 	}
@@ -207,26 +291,62 @@ func run(args []string) error {
 		hb.Stop() // final summary line, before any telemetry output
 	}
 	if runErr != nil {
-		return runErr
+		if interrupted(ctx, runErr) {
+			stopSignals() // restore default handling: a second ^C kills immediately
+			fmt.Fprintln(stderr, "hetarch: interrupted:", runErr)
+			if *ckptPath != "" {
+				fmt.Fprintf(stderr, "hetarch: checkpoint flushed; resume with: hetarch %s\n", strings.Join(args, " "))
+			}
+			return exitInterrupted
+		}
+		fmt.Fprintln(stderr, "hetarch:", runErr)
+		return exitError
 	}
 
 	if *metrics {
-		if err := emitTelemetry(os.Stderr, *asJSON); err != nil {
-			return err
+		if err := emitTelemetry(stderr, *asJSON); err != nil {
+			fmt.Fprintln(stderr, "hetarch:", err)
+			return exitError
 		}
 	}
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)
 		if err != nil {
-			return fmt.Errorf("memprofile: %w", err)
+			fmt.Fprintln(stderr, "hetarch: memprofile:", err)
+			return exitError
 		}
 		defer f.Close()
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			return fmt.Errorf("memprofile: %w", err)
+			fmt.Fprintln(stderr, "hetarch: memprofile:", err)
+			return exitError
 		}
 	}
-	return nil
+	return exitOK
+}
+
+// allOrder is the "all" meta-experiment's sequence. It doubles as the list
+// of valid experiment names, so usage and validation stay in sync with the
+// runner map.
+var allOrder = []string{"devices", "cells", "fig3", "fig4", "fig6", "fig7", "fig9", "table3", "fig12", "table4", "dse", "devstudy", "capacity", "protocol"}
+
+func knownExperiment(name string) bool {
+	if name == "all" {
+		return true
+	}
+	for _, n := range allOrder {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// interrupted reports whether the run error is the signal context being
+// cancelled (as opposed to a genuine failure that happens to wrap a context
+// error from elsewhere).
+func interrupted(ctx context.Context, err error) bool {
+	return ctx.Err() != nil && errors.Is(err, context.Canceled)
 }
 
 // totalShots aggregates every logical-shot counter (surface.shots,
@@ -259,7 +379,7 @@ type telemetry struct {
 
 // emitTelemetry renders the metric snapshot and span tree: an aligned text
 // table normally, a single JSON object when the run itself is JSON.
-func emitTelemetry(w *os.File, asJSON bool) error {
+func emitTelemetry(w io.Writer, asJSON bool) error {
 	snap := obs.Default.Snapshot()
 	if asJSON {
 		enc := json.NewEncoder(w)
@@ -272,22 +392,34 @@ func emitTelemetry(w *os.File, asJSON bool) error {
 	return nil
 }
 
-func tablePrinter(build func() *experiments.Table) func() error {
-	return func() error {
-		build().Fprint(os.Stdout)
-		return nil
+func tablePrinter(w io.Writer) func(func() (*experiments.Table, error)) func() error {
+	return func(build func() (*experiments.Table, error)) func() error {
+		return func() error {
+			t, err := build()
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}
 	}
 }
 
-func tableJSON(build func() *experiments.Table) func() error {
-	return func() error {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		return enc.Encode(build())
+func tableJSON(w io.Writer) func(func() (*experiments.Table, error)) func() error {
+	return func(build func() (*experiments.Table, error)) func() error {
+		return func() error {
+			t, err := build()
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			return enc.Encode(t)
+		}
 	}
 }
 
-func usage(fs *flag.FlagSet) {
-	fmt.Fprintln(os.Stderr, "usage: hetarch <devices|cells|fig3|fig4|fig6|fig7|fig9|table3|fig12|table4|dse|devstudy|capacity|protocol|all> [flags]")
+func usage(fs *flag.FlagSet, w io.Writer) {
+	fmt.Fprintf(w, "usage: hetarch <%s|all> [flags]\n", strings.Join(allOrder, "|"))
 	fs.PrintDefaults()
 }

@@ -14,6 +14,7 @@
 package codetelep
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -119,13 +120,24 @@ func (r *Result) CI(confidence float64) *stats.Interval {
 
 // Evaluate composes the CT module error model for the parameter set.
 func Evaluate(p Params) (*Result, error) {
+	return EvaluateContext(context.Background(), p)
+}
+
+// EvaluateContext is Evaluate under a context: cancellation aborts the
+// Monte Carlo sub-module runs (distillation ensemble and the four UEC
+// evaluations) and returns the engine's error rather than a half-composed
+// budget.
+func EvaluateContext(ctx context.Context, p Params) (*Result, error) {
 	if p.CodeA == nil || p.CodeB == nil {
 		return nil, fmt.Errorf("codetelep: nil code")
 	}
 	res := &Result{}
 
 	// --- Step 1: entanglement distillation sub-module.
-	epInfidelity, epRate, ok := p.distillEPs()
+	epInfidelity, epRate, ok, err := p.distillEPs(ctx)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		res.DistillationFailed = true
 		res.LogicalErrorProbability = 0.5
@@ -199,7 +211,7 @@ func Evaluate(p Params) (*Result, error) {
 		code   *qec.Code
 		native bool
 	}{{"logical-A", p.CodeA, p.NativeA}, {"logical-B", p.CodeB, p.NativeB}} {
-		rate, dur, errs, shots, err := p.uecLogicalRate(side.code, side.native)
+		rate, dur, errs, shots, err := p.uecLogicalRate(ctx, side.code, side.native)
 		if err != nil {
 			return nil, err
 		}
@@ -222,7 +234,7 @@ func Evaluate(p Params) (*Result, error) {
 // (the paper's failed homogeneous cases). Three replicas smooth the
 // single-trajectory shot noise of the pass/fail call; the pooled threshold
 // is the single-trajectory one scaled by the replica count.
-func (p Params) distillEPs() (infidelity, ratePerSecond float64, ok bool) {
+func (p Params) distillEPs(ctx context.Context) (infidelity, ratePerSecond float64, ok bool, err error) {
 	cfg := distill.DefaultConfig(p.TsMillis, p.Heterogeneous)
 	cfg.Seed = p.Seed
 	cfg.GenRateKHz = p.EPRateKHz
@@ -230,19 +242,22 @@ func (p Params) distillEPs() (infidelity, ratePerSecond float64, ok bool) {
 	cfg.TargetFidelity = p.TargetEPFidelity
 	cfg.ConsumeAtThreshold = true
 	const replicas = 3
-	stats := distill.RunEnsemble(cfg, replicas, 20000, p.Workers) // 20 ms horizon each
+	stats, err := distill.RunEnsembleContext(ctx, cfg, replicas, 20000, p.Workers) // 20 ms horizon each
+	if err != nil {
+		return 0, 0, false, err
+	}
 	if stats.Delivered < 5*replicas {
-		return 1, 0, false
+		return 1, 0, false, nil
 	}
 	// Delivered pairs are at or slightly above target; charge the target
 	// infidelity (conservative).
-	return 1 - p.TargetEPFidelity, stats.DeliveredRatePerSecond(), true
+	return 1 - p.TargetEPFidelity, stats.DeliveredRatePerSecond(), true, nil
 }
 
 // uecLogicalRate evaluates the (serialized or lattice) QEC sub-module's
 // combined per-cycle logical error rate for one code, along with the raw
 // error/shot counts the rate was estimated from.
-func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, duration float64, errs, shots int64, err error) {
+func (p Params) uecLogicalRate(ctx context.Context, code *qec.Code, native bool) (rate float64, duration float64, errs, shots int64, err error) {
 	total := 0.0
 	var dur float64
 	for _, basis := range []byte{'Z', 'X'} {
@@ -255,7 +270,10 @@ func (p Params) uecLogicalRate(code *qec.Code, native bool) (rate float64, durat
 		if uerr != nil {
 			return 0, 0, 0, 0, uerr
 		}
-		r := e.RunSharded(p.Shots, p.Seed, p.Workers)
+		r, uerr := e.RunContext(ctx, p.Shots, p.Seed, p.Workers)
+		if uerr != nil {
+			return 0, 0, 0, 0, uerr
+		}
 		total += r.LogicalErrorRate()
 		errs += int64(r.LogicalErrors)
 		shots += int64(r.Shots)

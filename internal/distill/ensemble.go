@@ -1,6 +1,9 @@
 package distill
 
 import (
+	"context"
+	"errors"
+
 	"hetarch/internal/mc"
 )
 
@@ -37,18 +40,47 @@ func (s EnsembleStats) DeliveredRatePerSecond() float64 {
 // stats bit-identical for any worker count (workers <= 0 means
 // runtime.NumCPU()).
 func RunEnsemble(cfg Config, replicas int, horizonMicros float64, workers int) EnsembleStats {
+	stats, err := RunEnsembleContext(context.Background(), cfg, replicas, horizonMicros, workers)
+	if err != nil {
+		panic(err)
+	}
+	return stats
+}
+
+// RunEnsembleContext is RunEnsemble under a context: cancellation stops
+// dispatching new replicas and pools only those that completed (Replicas
+// reflects the completed count, so DeliveredRatePerSecond stays an unbiased
+// per-replica average), returning the *mc.PartialError alongside. Replica
+// trajectories are not checkpointed — each shard returns rich Stats, not a
+// Tally — so a resumed run re-simulates them; determinism makes that exact,
+// just not free.
+func RunEnsembleContext(ctx context.Context, cfg Config, replicas int, horizonMicros float64, workers int) (EnsembleStats, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
 	mcCfg := mc.Config{Shots: replicas, Seed: cfg.Seed, Workers: workers, ShardSize: 1}
-	perReplica := mc.MapShards(mcCfg, func() func(mc.Shard) Stats {
+	perReplica, err := mc.MapShardsContext(ctx, mcCfg, func() func(mc.Shard) Stats {
 		return func(sh mc.Shard) Stats {
 			c := cfg
 			c.Seed = sh.Seed
 			return NewModule(c).Run(horizonMicros)
 		}
 	})
-	pooled := EnsembleStats{Replicas: len(perReplica), HorizonMicros: horizonMicros}
+	pooled := EnsembleStats{HorizonMicros: horizonMicros}
+	if err != nil {
+		var pe *mc.PartialError
+		if !errors.As(err, &pe) {
+			return EnsembleStats{}, err
+		}
+		// Pool only the replicas that completed; order them by shard index
+		// so the partial pool is deterministic.
+		kept := make([]Stats, 0, len(pe.Completed))
+		for _, i := range pe.Completed {
+			kept = append(kept, perReplica[i])
+		}
+		perReplica = kept
+	}
+	pooled.Replicas = len(perReplica)
 	for _, s := range perReplica {
 		pooled.Generated += s.Generated
 		pooled.Stored += s.Stored
@@ -57,5 +89,5 @@ func RunEnsemble(cfg Config, replicas int, horizonMicros float64, workers int) E
 		pooled.Successes += s.Successes
 		pooled.Delivered += s.Delivered
 	}
-	return pooled
+	return pooled, err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/distill"
@@ -13,12 +14,15 @@ import (
 // sub-module." The sweep varies the input-memory capacity at the paper's
 // operating point and reports delivered rate plus the overflow (drop)
 // fraction, exposing the knee the sizing decision sits on.
-func CapacitySweep(sc Scale, seed int64) *Table {
+func CapacitySweep(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	t := &Table{
 		Title:   "Capacity sweep: input-memory slots at 1000 kHz, Ts = 12.5 ms",
 		Columns: []string{"delivered k/s", "drop fraction"},
 	}
 	for _, slots := range []int{2, 3, 4, 6, 9, 12} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cfg := distill.DefaultConfig(12.5, true)
 		cfg.Seed = seed
 		cfg.GenRateKHz = 1000
@@ -34,5 +38,5 @@ func CapacitySweep(sc Scale, seed int64) *Table {
 			Values: []float64{stats.DeliveredRatePerSecond() / 1000, dropFrac},
 		})
 	}
-	return t
+	return t, nil
 }

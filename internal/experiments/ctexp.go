@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/codetelep"
@@ -10,23 +11,23 @@ import (
 // ctPair returns a configured CT evaluation for two evaluation codes: the
 // CT-state logical error probability and its 95% confidence interval (nil
 // when distillation failed and the probability is the deterministic 1/2).
-func ctPair(a, b evalCode, tsMillis float64, het bool, shots int, seed int64, workers int) (float64, *stats.Interval) {
+func ctPair(ctx context.Context, a, b evalCode, tsMillis float64, het bool, shots int, seed int64, workers int) (float64, *stats.Interval, error) {
 	p := codetelep.DefaultParams(a.Code, b.Code, tsMillis, het)
 	p.NativeA, p.NativeB = a.Native, b.Native
 	p.Shots = shots
 	p.Seed = seed
 	p.Workers = workers
-	r, err := codetelep.Evaluate(p)
+	r, err := codetelep.EvaluateContext(ctx, p)
 	if err != nil {
-		panic(err)
+		return 0, nil, err
 	}
-	return r.LogicalErrorProbability, r.CI(0.95)
+	return r.LogicalErrorProbability, r.CI(0.95), nil
 }
 
 // Fig12 reproduces the code-teleportation sweep: CT-state logical error
 // probability vs storage lifetime for the paper's three code pairs, on the
 // heterogeneous architecture (EP generation 1000 kHz, target 99.5%).
-func Fig12(sc Scale, seed int64) *Table {
+func Fig12(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	all := map[string]evalCode{}
 	for _, c := range evaluationCodes() {
 		all[c.Name] = c
@@ -43,19 +44,22 @@ func Fig12(sc Scale, seed int64) *Table {
 	for _, ts := range []float64{1, 5, 10, 25, 50} {
 		row := Row{Label: "Ts=" + strconv.FormatFloat(ts, 'g', -1, 64) + "ms"}
 		for _, pr := range pairs {
-			v, ci := ctPair(pr[0], pr[1], ts, true, sc.Shots, seed, sc.Workers)
+			v, ci, err := ctPair(ctx, pr[0], pr[1], ts, true, sc.Shots, seed, sc.Workers)
+			if err != nil {
+				return nil, err
+			}
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 // Table4 reproduces the all-pairs CT comparison at Ts = 50 ms: one row per
 // code pair with the heterogeneous and homogeneous logical error
 // probabilities and the reduction factor.
-func Table4(sc Scale, seed int64) *Table {
+func Table4(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	codes := evaluationCodes()
 	t := &Table{
 		Title:   "Table 4: CT logical error probability, het vs hom (Ts = 50 ms)",
@@ -63,8 +67,14 @@ func Table4(sc Scale, seed int64) *Table {
 	}
 	for i := range codes {
 		for j := i + 1; j < len(codes); j++ {
-			het, hetCI := ctPair(codes[i], codes[j], 50, true, sc.Shots, seed, sc.Workers)
-			hom, homCI := ctPair(codes[i], codes[j], 50, false, sc.Shots, seed, sc.Workers)
+			het, hetCI, err := ctPair(ctx, codes[i], codes[j], 50, true, sc.Shots, seed, sc.Workers)
+			if err != nil {
+				return nil, err
+			}
+			hom, homCI, err := ctPair(ctx, codes[i], codes[j], 50, false, sc.Shots, seed, sc.Workers)
+			if err != nil {
+				return nil, err
+			}
 			t.Rows = append(t.Rows, Row{
 				Label:  codes[i].Name + " & " + codes[j].Name,
 				Values: []float64{het, hom, hom / het},
@@ -72,5 +82,5 @@ func Table4(sc Scale, seed int64) *Table {
 			})
 		}
 	}
-	return t
+	return t, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -15,7 +16,11 @@ func TestFig9DeterministicAcrossWorkerCounts(t *testing.T) {
 	run := func(workers int) *Table {
 		s := sc
 		s.Workers = workers
-		return Fig9(s, 3)
+		tab, err := Fig9(context.Background(), s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tab
 	}
 	base := run(1)
 	for _, w := range []int{4, runtime.NumCPU()} {

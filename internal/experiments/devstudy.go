@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/device"
@@ -19,7 +20,7 @@ import (
 // Four designs are compared at distance d: data and ancilla both transmon
 // (the homogeneous reference), fluxonium data with transmon ancilla,
 // transmon data with fluxonium ancilla, and both fluxonium.
-func DeviceStudy(sc Scale, seed int64) *Table {
+func DeviceStudy(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	d := 5
 	if sc.MaxDistance < d {
 		d = sc.MaxDistance
@@ -53,12 +54,15 @@ func DeviceStudy(sc Scale, seed int64) *Table {
 			panic(err)
 		}
 		p.P2 = g.Error
-		v, ci := perCycleBothBases(p, sc.Shots, seed, sc.Workers)
+		v, ci, err := perCycleBothBases(ctx, p, sc.Shots, seed, sc.Workers)
+		if err != nil {
+			return nil, err
+		}
 		t.Rows = append(t.Rows, Row{
 			Label:  c.name,
 			Values: []float64{v},
 			CIs:    []*stats.Interval{ci},
 		})
 	}
-	return t
+	return t, nil
 }

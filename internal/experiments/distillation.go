@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/distill"
@@ -10,7 +11,7 @@ import (
 // infidelity over a 100 µs window for the heterogeneous module
 // (Ts = 12.5 ms/mode) and the homogeneous baseline (Ts = Tc = 0.5 ms), with
 // probabilistic EP generation.
-func Fig3(sc Scale, seed int64) *Table {
+func Fig3(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	horizon := 100.0
 	interval := 2.0
 	run := func(het bool) []distill.TracePoint {
@@ -21,7 +22,15 @@ func Fig3(sc Scale, seed int64) *Table {
 		stats := distill.NewModule(cfg).Run(horizon)
 		return stats.Trace
 	}
+	// The event-driven trace is a single short trajectory; check between
+	// the two variants rather than inside them.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	hetTrace := run(true)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	homTrace := run(false)
 
 	t := &Table{
@@ -38,7 +47,7 @@ func Fig3(sc Scale, seed int64) *Table {
 			Values: []float64{hetTrace[i].Time, hetTrace[i].BestInfidelity, homTrace[i].BestInfidelity},
 		})
 	}
-	return t
+	return t, nil
 }
 
 // Fig4 reproduces the distilled-EP rate sweep: delivered pairs per second at
@@ -46,7 +55,7 @@ func Fig3(sc Scale, seed int64) *Table {
 // lifetimes Ts ∈ {0.5, 1, 2.5, 5, 12.5, 50} ms plus the homogeneous
 // baseline (Ts = Tc = 0.5 ms). Rates are reported in thousands per second,
 // matching the paper's axis.
-func Fig4(sc Scale, seed int64) *Table {
+func Fig4(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	genRates := []float64{100, 300, 1000, 3000, 10000}
 	tsValues := []float64{0.5, 1, 2.5, 5, 12.5, 50}
 
@@ -59,6 +68,9 @@ func Fig4(sc Scale, seed int64) *Table {
 	for _, rate := range genRates {
 		row := Row{Label: fmtKHz(rate)}
 		for _, ts := range tsValues {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			cfg := distill.DefaultConfig(ts, true)
 			cfg.Seed = seed
 			cfg.GenRateKHz = rate
@@ -74,7 +86,7 @@ func Fig4(sc Scale, seed int64) *Table {
 		row.Values = append(row.Values, stats.DeliveredRatePerSecond()/1000)
 		t.Rows = append(t.Rows, row)
 	}
-	return t
+	return t, nil
 }
 
 func fmtMs(v float64) string {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -37,7 +38,10 @@ func TestTable2Prints(t *testing.T) {
 }
 
 func TestFig3Shape(t *testing.T) {
-	tab := Fig3(Quick(), 3)
+	tab, err := Fig3(context.Background(), Quick(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) < 40 {
 		t.Fatalf("trace too short: %d rows", len(tab.Rows))
 	}
@@ -62,7 +66,10 @@ func TestFig3Shape(t *testing.T) {
 func TestFig4Shape(t *testing.T) {
 	sc := Quick()
 	sc.DistillHorizon = 20000
-	tab := Fig4(sc, 3)
+	tab, err := Fig4(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 || len(tab.Columns) != 7 {
 		t.Fatalf("unexpected table shape %dx%d", len(tab.Rows), len(tab.Columns))
 	}
@@ -82,7 +89,10 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	sc := Quick()
-	tab := Fig6(sc, 3)
+	tab, err := Fig6(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 6 {
 		t.Fatalf("alpha rows: %d", len(tab.Rows))
 	}
@@ -101,7 +111,10 @@ func TestFig6Shape(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	sc := Quick()
-	tab := Fig7(sc, 3)
+	tab, err := Fig7(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) == 0 || len(tab.Columns) != 5 {
 		t.Fatal("unexpected table shape")
 	}
@@ -116,7 +129,10 @@ func TestFig7Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	sc := Quick()
-	tab := Fig9(sc, 3)
+	tab, err := Fig9(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 {
 		t.Fatal("expected five codes")
 	}
@@ -136,7 +152,10 @@ func TestFig9Shape(t *testing.T) {
 
 func TestTable3Shape(t *testing.T) {
 	sc := Quick()
-	tab := Table3(sc, 3)
+	tab, err := Table3(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 {
 		t.Fatal("expected five codes")
 	}
@@ -163,7 +182,10 @@ func TestTable3Shape(t *testing.T) {
 
 func TestFig12Shape(t *testing.T) {
 	sc := Quick()
-	tab := Fig12(sc, 3)
+	tab, err := Fig12(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 5 || len(tab.Columns) != 3 {
 		t.Fatal("unexpected shape")
 	}
@@ -178,7 +200,10 @@ func TestFig12Shape(t *testing.T) {
 
 func TestTable4Shape(t *testing.T) {
 	sc := Quick()
-	tab := Table4(sc, 3)
+	tab, err := Table4(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 10 { // C(5,2) pairs
 		t.Fatalf("expected 10 pairs, got %d", len(tab.Rows))
 	}
@@ -212,7 +237,10 @@ func TestRowCIsPopulated(t *testing.T) {
 	sc := Quick()
 	sc.Shots = 256
 	sc.MaxDistance = 3
-	tab := Fig6(sc, 3)
+	tab, err := Fig6(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range tab.Rows {
 		if r.ci(0) != nil {
 			t.Fatalf("%s: the alpha sweep parameter must not carry a CI", r.Label)
@@ -270,7 +298,10 @@ func TestDeviceStudyShape(t *testing.T) {
 	}
 	sc := Quick()
 	sc.Shots = 30000
-	tab := DeviceStudy(sc, 3)
+	tab, err := DeviceStudy(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 4 {
 		t.Fatal("expected four device combinations")
 	}
@@ -289,7 +320,10 @@ func TestDeviceStudyShape(t *testing.T) {
 func TestCapacitySweepShape(t *testing.T) {
 	sc := Quick()
 	sc.DistillHorizon = 20000
-	tab := CapacitySweep(sc, 3)
+	tab, err := CapacitySweep(context.Background(), sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tab.Rows) != 6 {
 		t.Fatal("expected six capacities")
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/obs"
@@ -13,8 +14,9 @@ import (
 // its 95% Wilson confidence interval. The interval pools the two equal-shot
 // sectors into one binomial sample, maps the per-shot endpoints through the
 // monotone per-cycle transform, and scales by two — matching the sum of the
-// two sector estimates.
-func perCycleBothBases(p surface.Params, shots int, seed int64, workers int) (float64, *stats.Interval) {
+// two sector estimates. Cancelling ctx abandons the point: a partial-shot
+// estimate is never folded into a table.
+func perCycleBothBases(ctx context.Context, p surface.Params, shots int, seed int64, workers int) (float64, *stats.Interval, error) {
 	total := 0.0
 	var errs, n int64
 	rounds := 1
@@ -25,7 +27,10 @@ func perCycleBothBases(p surface.Params, shots int, seed int64, workers int) (fl
 		if err != nil {
 			panic(err)
 		}
-		r := e.RunSharded(shots, seed, workers)
+		r, err := e.RunContext(ctx, shots, seed, workers)
+		if err != nil {
+			return 0, nil, err
+		}
 		total += r.PerCycleErrorRate()
 		errs += int64(r.LogicalErrors)
 		n += int64(r.Shots)
@@ -34,14 +39,14 @@ func perCycleBothBases(p surface.Params, shots int, seed int64, workers int) (fl
 	ci := stats.BinomialCI(errs, n, 0.95).
 		Map(func(eps float64) float64 { return surface.PerCycle(eps, rounds) }).
 		Scaled(2)
-	return total, &ci
+	return total, &ci, nil
 }
 
 // Fig6 reproduces the d=13 coherence sweep: logical error per cycle as the
 // data-qubit coherence T_CD (or the ancilla coherence T_CA) is scaled to
 // α·100 µs while the other stays at 100 µs, plus the homogeneous baseline
 // (α = 1). Quick scales may reduce the distance.
-func Fig6(sc Scale, seed int64) *Table {
+func Fig6(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	d := sc.MaxDistance
 	alphas := []float64{1, 2, 3, 5, 7, 10}
 	t := &Table{
@@ -55,8 +60,16 @@ func Fig6(sc Scale, seed int64) *Table {
 		pd.TcdMicros = 100 * a
 		pa := surface.DefaultParams(d)
 		pa.TcaMicros = 100 * a
-		vd, cid := perCycleBothBases(pd, sc.Shots, seed, sc.Workers)
-		va, cia := perCycleBothBases(pa, sc.Shots, seed, sc.Workers)
+		vd, cid, err := perCycleBothBases(ctx, pd, sc.Shots, seed, sc.Workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		va, cia, err := perCycleBothBases(ctx, pa, sc.Shots, seed, sc.Workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 		t.Rows = append(t.Rows, Row{
 			Label:  label,
 			Values: []float64{a, vd, va},
@@ -64,13 +77,13 @@ func Fig6(sc Scale, seed int64) *Table {
 		})
 		sp.End()
 	}
-	return t
+	return t, nil
 }
 
 // Fig7 reproduces the distance sweep: logical error per cycle for code
 // distances up to the scale's maximum, as a function of the ratio
 // T_CD/T_CA with T_CA fixed at 100 µs.
-func Fig7(sc Scale, seed int64) *Table {
+func Fig7(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	ratios := []float64{1, 2, 3, 5, 8}
 	var distances []int
 	for d := 5; d <= sc.MaxDistance; d += 2 {
@@ -89,12 +102,16 @@ func Fig7(sc Scale, seed int64) *Table {
 		for _, r := range ratios {
 			p := surface.DefaultParams(d)
 			p.TcdMicros = 100 * r
-			v, ci := perCycleBothBases(p, sc.Shots, seed, sc.Workers)
+			v, ci, err := perCycleBothBases(ctx, p, sc.Shots, seed, sc.Workers)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 		sp.End()
 	}
-	return t
+	return t, nil
 }

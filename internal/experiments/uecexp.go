@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 
 	"hetarch/internal/obs"
@@ -35,7 +36,7 @@ func evaluationCodes() []evalCode {
 // module for one code, with its 95% Wilson confidence interval (the two
 // equal-shot sectors pooled into one binomial sample, scaled by two to
 // match the sum of the sector estimates).
-func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64, workers int) (float64, *stats.Interval) {
+func combinedUEC(ctx context.Context, code *qec.Code, tsMillis float64, het, native bool, shots int, seed int64, workers int) (float64, *stats.Interval, error) {
 	total := 0.0
 	var errs, n int64
 	for _, basis := range []byte{'Z', 'X'} {
@@ -46,19 +47,22 @@ func combinedUEC(code *qec.Code, tsMillis float64, het, native bool, shots int, 
 		if err != nil {
 			panic(err)
 		}
-		r := e.RunSharded(shots, seed, workers)
+		r, err := e.RunContext(ctx, shots, seed, workers)
+		if err != nil {
+			return 0, nil, err
+		}
 		total += r.LogicalErrorRate()
 		errs += int64(r.LogicalErrors)
 		n += int64(r.Shots)
 	}
 	ci := stats.BinomialCI(errs, n, 0.95).Scaled(2)
-	return total, &ci
+	return total, &ci, nil
 }
 
 // Fig9 reproduces the universal-error-correction sweep: logical error rate
 // of each code on the heterogeneous UEC module as a function of the storage
 // lifetime Ts.
-func Fig9(sc Scale, seed int64) *Table {
+func Fig9(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	tsValues := []float64{1, 2.5, 5, 10, 25, 50}
 	t := &Table{Title: "Fig 9: UEC logical error rate vs storage lifetime Ts"}
 	for _, ts := range tsValues {
@@ -68,21 +72,25 @@ func Fig9(sc Scale, seed int64) *Table {
 		sp := obs.Span("fig9/" + c.Name)
 		row := Row{Label: c.Name}
 		for _, ts := range tsValues {
-			v, ci := combinedUEC(c.Code, ts, true, false, sc.Shots, seed, sc.Workers)
+			v, ci, err := combinedUEC(ctx, c.Code, ts, true, false, sc.Shots, seed, sc.Workers)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
 			row.Values = append(row.Values, v)
 			row.CIs = append(row.CIs, ci)
 		}
 		t.Rows = append(t.Rows, row)
 		sp.End()
 	}
-	return t
+	return t, nil
 }
 
 // Table3 reproduces the per-code comparison at Ts = 50 ms: pseudothreshold,
 // heterogeneous and homogeneous logical error rates, and the reduction
 // factor (hom/het; values below 1 mean the homogeneous lattice wins, as for
 // the lattice-native surface codes).
-func Table3(sc Scale, seed int64) *Table {
+func Table3(ctx context.Context, sc Scale, seed int64) (*Table, error) {
 	t := &Table{
 		Title:   "Table 3: UEC vs homogeneous lattice (Ts = 50 ms)",
 		Columns: []string{"PT", "het", "hom", "hom/het"},
@@ -93,14 +101,27 @@ func Table3(sc Scale, seed int64) *Table {
 	}
 	for _, c := range evaluationCodes() {
 		sp := obs.Span("table3/" + c.Name)
-		het, hetCI := combinedUEC(c.Code, 50, true, false, sc.Shots, seed, sc.Workers)
-		hom, homCI := combinedUEC(c.Code, 50, false, c.Native, sc.Shots, seed, sc.Workers)
+		het, hetCI, err := combinedUEC(ctx, c.Code, 50, true, false, sc.Shots, seed, sc.Workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		hom, homCI, err := combinedUEC(ctx, c.Code, 50, false, c.Native, sc.Shots, seed, sc.Workers)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
 		pt := 0.0
 		if !c.Native {
 			// Pseudothresholds are reported for the serialized module on
 			// the non-lattice-native codes (the paper marks the surface
 			// codes "—": their figure of merit is the threshold).
-			if v, ok := uec.Pseudothreshold(uec.DefaultParams(c.Code, 50, true), ptShots, seed, sc.Workers); ok {
+			v, ok, err := uec.PseudothresholdContext(ctx, uec.DefaultParams(c.Code, 50, true), ptShots, seed, sc.Workers)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			if ok {
 				pt = v
 			}
 		}
@@ -111,5 +132,5 @@ func Table3(sc Scale, seed int64) *Table {
 		})
 		sp.End()
 	}
-	return t
+	return t, nil
 }

@@ -1,0 +1,310 @@
+// Package checkpoint persists the mc engine's per-shard tallies to a
+// crash-tolerant JSONL file so an interrupted Monte Carlo campaign can
+// resume without repeating completed work.
+//
+// The artifact is line-oriented, one JSON object per line, flushed per
+// record — the flight recorder's discipline (see internal/obs/recorder):
+// killing the process at any point loses at most the line being written,
+// and the reader drops a torn trailing line instead of failing.
+//
+//	{"type":"checkpoint", ...}   exactly one, first line: the run identity
+//	{"type":"shard", ...}        one per completed shard
+//
+// A checkpoint is only valid for the exact run that produced it: the meta
+// line records the experiment, scale, seed, shot override, shard size, and
+// git revision, and Open refuses a file whose identity does not match —
+// resuming under different parameters would silently splice incompatible
+// streams. Within a run, shards are keyed by the engine's RunKey (run
+// sequence number, shots, seed, shard size) plus the shard index, and each
+// record carries the shard's stream seed as a final guard: a lookup whose
+// seed disagrees is treated as a miss.
+//
+// Because the engine's shard decomposition is deterministic and a
+// completed shard's tally is independent of scheduling, a resumed run that
+// skips the recorded shards produces pooled counts bit-identical to an
+// uninterrupted run at any worker count.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"hetarch/internal/mc"
+	"hetarch/internal/obs/recorder"
+)
+
+// Meta identifies the run a checkpoint belongs to. Every field that
+// changes the shard decomposition or the sampled streams participates in
+// the compatibility check.
+type Meta struct {
+	Type        string `json:"type"` // "checkpoint"
+	Tool        string `json:"tool,omitempty"`
+	Experiment  string `json:"experiment"`
+	Scale       string `json:"scale,omitempty"` // "quick" or "full"
+	Seed        int64  `json:"seed"`
+	Shots       int    `json:"shots,omitempty"` // CLI -shots override; 0 = scale default
+	ShardSize   int    `json:"shard_size"`
+	GitRevision string `json:"git_revision,omitempty"`
+	CreatedAt   string `json:"created_at,omitempty"` // RFC3339
+}
+
+// NewMeta fills a Meta for the current build: shard size from the engine
+// default, git revision from debug.ReadBuildInfo when available.
+func NewMeta(tool, experiment, scale string, seed int64, shots int) Meta {
+	m := Meta{
+		Type:       "checkpoint",
+		Tool:       tool,
+		Experiment: experiment,
+		Scale:      scale,
+		Seed:       seed,
+		Shots:      shots,
+		ShardSize:  mc.DefaultShardSize,
+		CreatedAt:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.GitRevision = s.Value
+			}
+		}
+	}
+	return m
+}
+
+// compatible reports whether a checkpoint written under prev can be
+// resumed by a run described by cur.
+func compatible(prev, cur Meta) error {
+	switch {
+	case prev.Experiment != cur.Experiment:
+		return fmt.Errorf("experiment %q != %q", prev.Experiment, cur.Experiment)
+	case prev.Scale != cur.Scale:
+		return fmt.Errorf("scale %q != %q", prev.Scale, cur.Scale)
+	case prev.Seed != cur.Seed:
+		return fmt.Errorf("seed %d != %d", prev.Seed, cur.Seed)
+	case prev.Shots != cur.Shots:
+		return fmt.Errorf("shots %d != %d", prev.Shots, cur.Shots)
+	case prev.ShardSize != cur.ShardSize:
+		return fmt.Errorf("shard size %d != %d", prev.ShardSize, cur.ShardSize)
+	case prev.GitRevision != "" && cur.GitRevision != "" && prev.GitRevision != cur.GitRevision:
+		return fmt.Errorf("git revision %.12s != %.12s", prev.GitRevision, cur.GitRevision)
+	}
+	return nil
+}
+
+// shardRecord is one completed shard on disk.
+type shardRecord struct {
+	Type      string `json:"type"` // "shard"
+	Run       int    `json:"run"`
+	RunShots  int    `json:"run_shots"`
+	RunSeed   int64  `json:"run_seed"`
+	ShardSize int    `json:"shard_size"`
+	Shard     int    `json:"shard"`
+	ShardSeed int64  `json:"shard_seed"`
+	Shots     int64  `json:"shots"`
+	Errors    int64  `json:"errors"`
+}
+
+type entryKey struct {
+	key   mc.RunKey
+	shard int
+}
+
+type entryVal struct {
+	seed  int64
+	tally mc.Tally
+}
+
+// File is an open checkpoint store. It implements mc.Checkpoint; install
+// it with mc.SetCheckpoint. Methods are safe for concurrent use by the
+// engine's workers; every Record is flushed to the OS before returning.
+type File struct {
+	mu      sync.Mutex
+	f       *os.File
+	enc     *json.Encoder
+	meta    Meta
+	done    map[entryKey]entryVal
+	resumed int
+	closed  bool
+}
+
+// Open loads the checkpoint at path, validating that it belongs to the run
+// described by meta, or creates a fresh one if the file does not exist.
+// A crash-truncated trailing line is dropped (and the file rewritten
+// without it so subsequent appends start on a clean line boundary).
+func Open(path string, meta Meta) (*File, error) {
+	meta.Type = "checkpoint"
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return create(path, meta)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+
+	lines, tail := recorder.SplitTailTolerant(data)
+	truncated := len(tail) > 0
+	if truncated && json.Valid(tail) {
+		lines = append(lines, tail)
+	}
+	if len(lines) == 0 {
+		return create(path, meta)
+	}
+
+	var prev Meta
+	if err := json.Unmarshal(lines[0], &prev); err != nil || prev.Type != "checkpoint" {
+		return nil, fmt.Errorf("checkpoint %s: first record is not a checkpoint header", path)
+	}
+	if err := compatible(prev, meta); err != nil {
+		return nil, fmt.Errorf("checkpoint %s was written by a different run (%v); delete it or rerun with matching flags", path, err)
+	}
+
+	done := map[entryKey]entryVal{}
+	for i, raw := range lines[1:] {
+		if len(raw) == 0 {
+			continue
+		}
+		var rec shardRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("checkpoint %s: line %d: %w", path, i+2, err)
+		}
+		if rec.Type != "shard" {
+			continue // forward compatibility
+		}
+		k := entryKey{mc.RunKey{Run: rec.Run, Shots: rec.RunShots, Seed: rec.RunSeed, ShardSize: rec.ShardSize}, rec.Shard}
+		done[k] = entryVal{seed: rec.ShardSeed, tally: mc.Tally{Shots: rec.Shots, Errors: rec.Errors}}
+	}
+
+	if truncated {
+		// Rewrite without the torn tail so appends start on a line boundary.
+		if err := rewrite(path, prev, done); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return &File{f: f, enc: json.NewEncoder(f), meta: prev, done: done, resumed: len(done)}, nil
+}
+
+func create(path string, meta Meta) (*File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	cf := &File{f: f, enc: json.NewEncoder(f), meta: meta, done: map[entryKey]entryVal{}}
+	if err := cf.enc.Encode(meta); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return cf, nil
+}
+
+// rewrite replaces path with a clean artifact holding meta plus the loaded
+// shard records, via tmp-and-rename.
+func rewrite(path string, meta Meta, done map[entryKey]entryVal) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	err = enc.Encode(meta)
+	for k, v := range done {
+		if err != nil {
+			break
+		}
+		err = enc.Encode(record(k, v))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+func record(k entryKey, v entryVal) shardRecord {
+	return shardRecord{
+		Type:      "shard",
+		Run:       k.key.Run,
+		RunShots:  k.key.Shots,
+		RunSeed:   k.key.Seed,
+		ShardSize: k.key.ShardSize,
+		Shard:     k.shard,
+		ShardSeed: v.seed,
+		Shots:     v.tally.Shots,
+		Errors:    v.tally.Errors,
+	}
+}
+
+// Resumed returns the number of shard tallies loaded from a pre-existing
+// file — zero for a fresh checkpoint.
+func (f *File) Resumed() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.resumed
+}
+
+// Len returns the number of shard tallies currently recorded.
+func (f *File) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.done)
+}
+
+// Lookup implements mc.Checkpoint: it returns the recorded tally of the
+// shard, guarding on the shard's stream seed.
+func (f *File) Lookup(key mc.RunKey, sh mc.Shard) (mc.Tally, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v, ok := f.done[entryKey{key, sh.Index}]
+	if !ok || v.seed != sh.Seed {
+		return mc.Tally{}, false
+	}
+	return v.tally, true
+}
+
+// Record implements mc.Checkpoint: it appends the shard's tally and
+// flushes it to the OS before returning, so a kill after Record cannot
+// lose the shard. Re-recording an already-present shard is a no-op.
+func (f *File) Record(key mc.RunKey, sh mc.Shard, t mc.Tally) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return fmt.Errorf("checkpoint: closed")
+	}
+	k := entryKey{key, sh.Index}
+	if _, ok := f.done[k]; ok {
+		return nil
+	}
+	if err := f.enc.Encode(record(k, entryVal{seed: sh.Seed, tally: t})); err != nil {
+		return err
+	}
+	f.done[k] = entryVal{seed: sh.Seed, tally: t}
+	return nil
+}
+
+// Close closes the file. Records already written are durable; Close exists
+// to release the handle, not to finalize.
+func (f *File) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	return f.f.Close()
+}

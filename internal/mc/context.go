@@ -1,0 +1,342 @@
+// Resilient execution layer of the mc engine: context-aware dispatch,
+// per-shard panic isolation with bounded same-stream retries, and the
+// process-wide checkpoint and fault-injection hooks.
+//
+// The layer exploits the engine's deterministic shard decomposition: a
+// cancelled or faulted run still returns the pooled tally of every shard
+// that DID complete, identified by index in a typed *PartialError, and a
+// completed shard's tally is exactly what an uninterrupted run would have
+// produced for that index. That is what makes checkpoint/resume exact:
+// re-running the same (shots, seed, shard size) while skipping the
+// completed set yields bit-identical pooled counts.
+package mc
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"hetarch/internal/obs"
+)
+
+// Engine telemetry: faults count recovered worker panics (one per failed
+// attempt), retries the re-executions they trigger, hits the shards a
+// checkpoint satisfied without execution.
+var (
+	shardFaults    = obs.C("mc.shard_faults")
+	shardRetries   = obs.C("mc.shard_retries")
+	checkpointHits = obs.C("mc.checkpoint_hits")
+)
+
+// DefaultShardRetries is the number of same-stream re-executions a
+// panicking shard gets before the run fails cleanly. One retry absorbs
+// transient faults (the chaos injector's model) while keeping a
+// deterministic crash from looping: the retry reruns the identical shard
+// seed, so a panic that is a pure function of the shard's work fires again
+// and surfaces as a *ShardFault.
+const DefaultShardRetries = 1
+
+// shardRetries resolves Config.MaxShardRetries: 0 means the default,
+// negative disables retries.
+func (c Config) shardRetries() int {
+	if c.MaxShardRetries < 0 {
+		return 0
+	}
+	if c.MaxShardRetries == 0 {
+		return DefaultShardRetries
+	}
+	return c.MaxShardRetries
+}
+
+// ShardFault reports a shard whose runner panicked on every attempt. The
+// engine recovers the panic on the worker goroutine, captures the stack,
+// and fails the run cleanly instead of crashing the process — completed
+// shards stay usable (and checkpointed).
+type ShardFault struct {
+	Shard    int    // shard index within the run
+	Seed     int64  // the shard's stream seed (rerunning it reproduces the fault)
+	Attempts int    // executions performed, including retries
+	Value    any    // the recovered panic value
+	Stack    []byte // stack captured at the final panic
+}
+
+func (f *ShardFault) Error() string {
+	return fmt.Sprintf("mc: shard %d (stream seed %d) panicked after %d attempt(s): %v",
+		f.Shard, f.Seed, f.Attempts, f.Value)
+}
+
+// PartialError reports a run that stopped before completing every shard —
+// cancelled, past its deadline, faulted, or unable to record a checkpoint.
+// The run's partial result covers exactly the Completed shard indices.
+// Unwrap exposes the cause, so errors.Is(err, context.Canceled) and
+// errors.As(err, &fault) both work.
+type PartialError struct {
+	Cause     error // context error, *ShardFault, or checkpoint I/O error
+	Completed []int // sorted indices of shards that finished (or were resumed)
+	Shards    int   // total shards in the decomposition
+	ShotsDone int64 // shots covered by the completed shards
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("mc: run interrupted after %d/%d shards (%d shots): %v",
+		len(e.Completed), e.Shards, e.ShotsDone, e.Cause)
+}
+
+func (e *PartialError) Unwrap() error { return e.Cause }
+
+// FaultInjector is the chaos-testing hook: when installed via
+// SetFaultInjector, BeforeShard runs on the worker goroutine before every
+// shard attempt (it may sleep or panic — a panic is recovered and retried
+// like any shard fault) and ShardDone after every successful completion
+// (where it may cancel the run's context to simulate a mid-run kill).
+type FaultInjector interface {
+	BeforeShard(sh Shard, attempt int)
+	ShardDone(sh Shard)
+}
+
+// Checkpoint persists per-shard tallies so an interrupted run can resume.
+// Lookup returns the recorded tally of a completed shard (a hit skips
+// execution entirely); Record is called once per newly completed shard,
+// from the worker goroutine, and must be durable when it returns.
+type Checkpoint interface {
+	Lookup(key RunKey, sh Shard) (Tally, bool)
+	Record(key RunKey, sh Shard, t Tally) error
+}
+
+// RunKey identifies one RunContext invocation within a process. Runs are
+// numbered by a process-wide sequence counter: experiment code executes its
+// sub-runs in a deterministic order, so the same (Run, Shots, Seed,
+// ShardSize) tuple names the same sub-run across an interrupt/resume pair.
+type RunKey struct {
+	Run       int   `json:"run"`
+	Shots     int   `json:"shots"`
+	Seed      int64 `json:"seed"`
+	ShardSize int   `json:"shard_size"`
+}
+
+var (
+	hookMu    sync.Mutex
+	ckptStore Checkpoint
+	injector  FaultInjector
+	runSeq    atomic.Int64
+)
+
+// SetCheckpoint installs (nil removes) the process-wide checkpoint store
+// consulted by every RunContext call, and resets the run-sequence counter
+// so a resuming process numbers its runs identically to the interrupted
+// one. Call it before the experiment starts, never mid-run.
+func SetCheckpoint(c Checkpoint) {
+	hookMu.Lock()
+	ckptStore = c
+	hookMu.Unlock()
+	runSeq.Store(0)
+}
+
+// SetFaultInjector installs (nil removes) the chaos hook. Tests only.
+func SetFaultInjector(fi FaultInjector) {
+	hookMu.Lock()
+	injector = fi
+	hookMu.Unlock()
+}
+
+func currentHooks() (Checkpoint, FaultInjector) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	return ckptStore, injector
+}
+
+// runShard executes one shard attempt under recover, converting a worker
+// panic (the runner's or an injected one) into a *ShardFault with the
+// stack captured at the panic site.
+func runShard[T any](run func(Shard) T, sh Shard, attempt int, fi FaultInjector) (val T, fault *ShardFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			shardFaults.Inc()
+			fault = &ShardFault{Shard: sh.Index, Seed: sh.Seed, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if fi != nil {
+		fi.BeforeShard(sh, attempt)
+	}
+	val = run(sh)
+	return
+}
+
+// MapShardsContext is MapShards with cooperative cancellation and panic
+// isolation. It stops dispatching shards once ctx is cancelled or a shard
+// exhausts its retries; in-flight shards finish (shards are small, so the
+// latency is bounded by one shard of work per worker). On an incomplete
+// run it returns the results slice — valid at exactly the completed
+// indices — together with a *PartialError describing what finished and
+// why the rest did not.
+//
+// A panicking shard is retried up to Config.MaxShardRetries times on a
+// fresh worker (the panic may have left the old worker's state
+// inconsistent), re-running the identical stream seed so a successful
+// retry is bit-identical to an undisturbed execution.
+func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() func(Shard) T) ([]T, error) {
+	shards := cfg.shards()
+	if len(shards) == 0 {
+		return nil, nil
+	}
+	out := make([]T, len(shards))
+	done := make([]bool, len(shards))
+	retries := cfg.shardRetries()
+	_, fi := currentHooks()
+
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	var firstFault atomic.Pointer[ShardFault]
+
+	// process runs one shard to completion (with retries), returning false
+	// when the shard faulted out and the run must wind down. It owns the
+	// worker pointer so a retry can swap in a fresh worker for itself and
+	// for the shards that goroutine processes afterwards.
+	process := func(run *func(Shard) T, sh Shard) bool {
+		var last *ShardFault
+		for attempt := 1; attempt <= 1+retries; attempt++ {
+			if attempt > 1 {
+				shardRetries.Inc()
+				*run = newWorker()
+			}
+			v, fault := runShard(*run, sh, attempt, fi)
+			if fault == nil {
+				out[sh.Index] = v
+				done[sh.Index] = true
+				if fi != nil {
+					fi.ShardDone(sh)
+				}
+				return true
+			}
+			fault.Attempts = attempt
+			last = fault
+		}
+		firstFault.CompareAndSwap(nil, last)
+		stop()
+		return false
+	}
+
+	workers := ResolveWorkers(cfg.Workers)
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers <= 1 {
+		run := newWorker()
+		for i := range shards {
+			if runCtx.Err() != nil {
+				break
+			}
+			if !process(&run, shards[i]) {
+				break
+			}
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				run := newWorker()
+				for runCtx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= len(shards) {
+						return
+					}
+					if !process(&run, shards[i]) {
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	completed := make([]int, 0, len(shards))
+	var shotsDone int64
+	for i, ok := range done {
+		if ok {
+			completed = append(completed, i)
+			shotsDone += int64(shards[i].Shots)
+		}
+	}
+	if len(completed) == len(shards) {
+		return out, nil
+	}
+	var cause error
+	if f := firstFault.Load(); f != nil {
+		cause = f
+	} else if err := ctx.Err(); err != nil {
+		cause = err
+	} else {
+		cause = context.Canceled // unreachable: incomplete runs have a fault or a dead context
+	}
+	return out, &PartialError{Cause: cause, Completed: completed, Shards: len(shards), ShotsDone: shotsDone}
+}
+
+// RunContext is Run with cooperative cancellation, panic isolation, and
+// checkpointing. It always returns the pooled tally of the shards that
+// completed; when that is not all of them, the error is a *PartialError
+// whose Completed set the tally covers.
+//
+// When a checkpoint store is installed (SetCheckpoint), each shard is
+// looked up before execution — a hit reuses the recorded tally without
+// re-sampling (obs counters do not re-tick for resumed shards) — and
+// recorded durably after it completes, so killing the process at any shard
+// boundary loses at most the in-flight shards.
+func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (Tally, error) {
+	cp, _ := currentHooks()
+	key := RunKey{Run: int(runSeq.Add(1)) - 1, Shots: cfg.Shots, Seed: cfg.Seed, ShardSize: cfg.shardSize()}
+
+	runCtx := ctx
+	build := newWorker
+	var recordErr atomic.Pointer[error]
+	if cp != nil {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		build = func() ShardRunner {
+			run := newWorker()
+			return func(sh Shard) Tally {
+				if t, ok := cp.Lookup(key, sh); ok {
+					checkpointHits.Inc()
+					return t
+				}
+				t := run(sh)
+				if err := cp.Record(key, sh, t); err != nil {
+					err = fmt.Errorf("mc: checkpoint record: %w", err)
+					recordErr.CompareAndSwap(nil, &err)
+					cancel() // stop dispatching: the store is not durable anymore
+				}
+				return t
+			}
+		}
+	}
+
+	out, err := MapShardsContext(runCtx, cfg, build)
+	var total Tally
+	if err == nil {
+		for _, t := range out {
+			total.Add(t)
+		}
+		if rp := recordErr.Load(); rp != nil {
+			// Every shard ran, but the last records may not be durable.
+			return total, *rp
+		}
+		return total, nil
+	}
+	pe := err.(*PartialError)
+	for _, i := range pe.Completed {
+		total.Add(out[i])
+	}
+	if rp := recordErr.Load(); rp != nil {
+		// The internal cancel fired because recording failed; surface the
+		// I/O error as the cause rather than the synthetic context error.
+		if _, isFault := pe.Cause.(*ShardFault); !isFault {
+			pe.Cause = *rp
+		}
+	}
+	return total, pe
+}

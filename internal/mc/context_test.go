@@ -1,0 +1,267 @@
+package mc_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"hetarch/internal/mc"
+	"hetarch/internal/mc/chaos"
+)
+
+// countingRunner mimics a real sampler: results depend on the shard's RNG
+// stream, so any resequencing or re-seeding bug changes the tally.
+func countingRunner() mc.ShardRunner {
+	return func(sh mc.Shard) mc.Tally {
+		rng := sh.RNG()
+		var t mc.Tally
+		for i := 0; i < sh.Shots; i++ {
+			t.Shots++
+			if rng.Float64() < 0.37 {
+				t.Errors++
+			}
+		}
+		return t
+	}
+}
+
+func TestRunContextCompletesLikeRun(t *testing.T) {
+	cfg := mc.Config{Shots: 10_000, Seed: 42, Workers: 4}
+	want := mc.Run(cfg, countingRunner)
+	got, err := mc.RunContext(context.Background(), cfg, countingRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("RunContext %+v != Run %+v", got, want)
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := mc.RunContext(ctx, mc.Config{Shots: 10_000, Seed: 42, Workers: 4}, countingRunner)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var pe *mc.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %T", err)
+	}
+	if len(pe.Completed) != 0 || got != (mc.Tally{}) {
+		t.Fatalf("pre-cancelled run did work: %+v, %+v", pe, got)
+	}
+	if !strings.Contains(err.Error(), "0/40 shards") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+// TestChaosCancelPartialIsExactPrefix: with one worker, cancelling after K
+// completed shards must yield exactly the pooled tally of the first K
+// shards of an uninterrupted run.
+func TestChaosCancelPartialIsExactPrefix(t *testing.T) {
+	cfg := mc.Config{Shots: 10_000, Seed: 42, Workers: 1}
+
+	// Per-shard tallies of the fault-free run, for prefix sums.
+	perShard := mc.MapShards(cfg, countingRunner)
+
+	for _, k := range []int{1, 7, 20, 39} {
+		ctx, cancel := context.WithCancel(context.Background())
+		in := chaos.New(int64(k)).CancelAfter(k, cancel)
+		mc.SetFaultInjector(in)
+		got, err := mc.RunContext(ctx, cfg, countingRunner)
+		mc.SetFaultInjector(nil)
+		cancel()
+
+		var pe *mc.PartialError
+		if !errors.As(err, &pe) {
+			t.Fatalf("k=%d: want *PartialError, got %v", k, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("k=%d: cause should unwrap to context.Canceled: %v", k, err)
+		}
+		if len(pe.Completed) != k {
+			t.Fatalf("k=%d: completed %d shards", k, len(pe.Completed))
+		}
+		var want mc.Tally
+		for i := 0; i < k; i++ {
+			if pe.Completed[i] != i {
+				t.Fatalf("k=%d: single-worker completion set not a prefix: %v", k, pe.Completed)
+			}
+			want.Add(perShard[i])
+		}
+		if got != want {
+			t.Fatalf("k=%d: partial tally %+v != prefix sum %+v", k, got, want)
+		}
+		if pe.ShotsDone != want.Shots {
+			t.Fatalf("k=%d: ShotsDone %d != %d", k, pe.ShotsDone, want.Shots)
+		}
+	}
+}
+
+// TestChaosCancelPartialMatchesCompletedSet: with many workers, the
+// completed set need not be a prefix, but the partial tally must still be
+// exactly the sum of the fault-free per-shard tallies over that set.
+func TestChaosCancelPartialMatchesCompletedSet(t *testing.T) {
+	cfg := mc.Config{Shots: 20_000, Seed: 9, Workers: 8}
+	perShard := mc.MapShards(cfg, countingRunner)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	in := chaos.New(1).CancelAfter(5, cancel)
+	mc.SetFaultInjector(in)
+	got, err := mc.RunContext(ctx, cfg, countingRunner)
+	mc.SetFaultInjector(nil)
+	cancel()
+
+	var pe *mc.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %v", err)
+	}
+	if len(pe.Completed) == 0 || len(pe.Completed) == len(perShard) {
+		t.Fatalf("degenerate completion set: %d/%d", len(pe.Completed), len(perShard))
+	}
+	var want mc.Tally
+	for _, i := range pe.Completed {
+		want.Add(perShard[i])
+	}
+	if got != want {
+		t.Fatalf("partial tally %+v != completed-set sum %+v", got, want)
+	}
+}
+
+// TestChaosPanicRetryBitIdentical: transient injected panics (one per
+// chosen shard) are absorbed by the engine's same-stream retry, leaving
+// the pooled tally bit-identical to the fault-free run.
+func TestChaosPanicRetryBitIdentical(t *testing.T) {
+	cfg := mc.Config{Shots: 10_000, Seed: 42, Workers: 4}
+	want := mc.Run(cfg, countingRunner)
+
+	in := chaos.New(3)
+	picked := in.PickShards(5, 40)
+	for _, s := range picked {
+		in.PanicOnShard(s, 1)
+	}
+	mc.SetFaultInjector(in)
+	got, err := mc.RunContext(context.Background(), cfg, countingRunner)
+	mc.SetFaultInjector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("retried run %+v != fault-free %+v", got, want)
+	}
+	if in.InjectedFaults() != len(picked) {
+		t.Fatalf("injected %d faults, expected %d", in.InjectedFaults(), len(picked))
+	}
+}
+
+// TestChaosPersistentPanicFailsCleanly: a shard that panics on every
+// attempt must surface as a typed *ShardFault with a captured stack —
+// never crash the process — and the partial tally must still cover the
+// completed shards exactly.
+func TestChaosPersistentPanicFailsCleanly(t *testing.T) {
+	cfg := mc.Config{Shots: 10_000, Seed: 42, Workers: 1}
+	perShard := mc.MapShards(cfg, countingRunner)
+
+	const bad = 3
+	in := chaos.New(1).PanicOnShard(bad, 1+mc.DefaultShardRetries)
+	mc.SetFaultInjector(in)
+	got, err := mc.RunContext(context.Background(), cfg, countingRunner)
+	mc.SetFaultInjector(nil)
+
+	var fault *mc.ShardFault
+	if !errors.As(err, &fault) {
+		t.Fatalf("want *ShardFault, got %v", err)
+	}
+	if fault.Shard != bad || fault.Attempts != 1+mc.DefaultShardRetries {
+		t.Fatalf("fault %+v", fault)
+	}
+	if len(fault.Stack) == 0 || !strings.Contains(string(fault.Stack), "chaos") {
+		t.Fatal("fault did not capture the panic stack")
+	}
+	var pe *mc.PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *PartialError, got %T", err)
+	}
+	var want mc.Tally
+	for _, i := range pe.Completed {
+		if i == bad {
+			t.Fatal("faulted shard reported as completed")
+		}
+		want.Add(perShard[i])
+	}
+	if got != want {
+		t.Fatalf("partial tally %+v != completed-set sum %+v", got, want)
+	}
+}
+
+// TestChaosRetryDisabled: MaxShardRetries < 0 fails on the first fault.
+func TestChaosRetryDisabled(t *testing.T) {
+	cfg := mc.Config{Shots: 2_000, Seed: 1, Workers: 1, MaxShardRetries: -1}
+	in := chaos.New(1).PanicOnShard(0, 1)
+	mc.SetFaultInjector(in)
+	_, err := mc.RunContext(context.Background(), cfg, countingRunner)
+	mc.SetFaultInjector(nil)
+	var fault *mc.ShardFault
+	if !errors.As(err, &fault) || fault.Attempts != 1 {
+		t.Fatalf("want single-attempt fault, got %v", err)
+	}
+}
+
+// TestChaosWorkerPanicIsolatedFromRealRunner: a panic raised by the shard
+// runner itself (not the injector) is isolated and retried on a fresh
+// worker, so per-worker state poisoned by the panic cannot leak into the
+// retry.
+func TestChaosWorkerPanicIsolatedFromRealRunner(t *testing.T) {
+	cfg := mc.Config{Shots: 2_560, Seed: 5, Workers: 2}
+	want := mc.Run(cfg, countingRunner)
+
+	// A runner whose worker state is corrupted by a one-time transient
+	// panic on shard 4: the worker that panicked would mis-count every
+	// subsequent shard if it were reused, so only a rebuilt worker keeps
+	// the counts clean.
+	var panicked atomic.Bool
+	fresh := func() mc.ShardRunner {
+		poisoned := false
+		return func(sh mc.Shard) mc.Tally {
+			if poisoned {
+				return mc.Tally{Shots: int64(sh.Shots), Errors: -1}
+			}
+			if sh.Index == 4 && panicked.CompareAndSwap(false, true) {
+				poisoned = true
+				panic("runner: transient corruption")
+			}
+			return countingRunner()(sh)
+		}
+	}
+	got, err := mc.RunContext(context.Background(), cfg, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("retry reused a poisoned worker: %+v != %+v", got, want)
+	}
+}
+
+// TestChaosMapShardsPanicsOnExhaustedFault: the legacy MapShards entry
+// point keeps its crash-on-panic contract, but with the typed fault.
+func TestChaosMapShardsPanicsOnExhaustedFault(t *testing.T) {
+	in := chaos.New(1).PanicOnShard(0, 1+mc.DefaultShardRetries)
+	mc.SetFaultInjector(in)
+	defer mc.SetFaultInjector(nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MapShards should re-panic on an exhausted fault")
+		}
+		err, ok := r.(error)
+		var fault *mc.ShardFault
+		if !ok || !errors.As(err, &fault) {
+			t.Fatalf("recovered %v, want a *ShardFault-wrapping error", r)
+		}
+	}()
+	mc.MapShards(mc.Config{Shots: 1000, Seed: 1, Workers: 1},
+		func() func(mc.Shard) int { return func(sh mc.Shard) int { return sh.Index } })
+}

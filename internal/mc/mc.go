@@ -19,10 +19,9 @@
 package mc
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // DefaultShardSize is the shard granularity when Config.ShardSize is unset:
@@ -102,6 +101,13 @@ type Config struct {
 	// decomposition), so callers must keep it fixed across runs they want to
 	// compare bit-for-bit.
 	ShardSize int
+
+	// MaxShardRetries bounds the same-stream re-executions of a panicking
+	// shard before the run fails with a *ShardFault: 0 means
+	// DefaultShardRetries, negative disables retries. Retries rerun the
+	// identical shard seed on a fresh worker, so a successful retry is
+	// bit-identical to an undisturbed execution and never affects results.
+	MaxShardRetries int
 }
 
 func (c Config) shardSize() int {
@@ -138,40 +144,16 @@ func (c Config) shards() []Shard {
 // Because results are placed by shard index and the decomposition is
 // independent of scheduling, the returned slice is identical for any worker
 // count — including reductions that are not commutative.
+//
+// MapShards is MapShardsContext on a background context: it cannot be
+// cancelled, and a shard that faults out of its retries panics with the
+// *ShardFault (preserving the historical crash-on-panic contract for
+// callers without an error path).
 func MapShards[T any](cfg Config, newWorker func() func(Shard) T) []T {
-	shards := cfg.shards()
-	if len(shards) == 0 {
-		return nil
+	out, err := MapShardsContext(context.Background(), cfg, newWorker)
+	if err != nil {
+		panic(err)
 	}
-	out := make([]T, len(shards))
-	workers := ResolveWorkers(cfg.Workers)
-	if workers > len(shards) {
-		workers = len(shards)
-	}
-	if workers <= 1 {
-		run := newWorker()
-		for i := range shards {
-			out[i] = run(shards[i])
-		}
-		return out
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			run := newWorker()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(shards) {
-					return
-				}
-				out[i] = run(shards[i])
-			}
-		}()
-	}
-	wg.Wait()
 	return out
 }
 
@@ -183,10 +165,14 @@ type ShardRunner = func(Shard) Tally
 // Run shards the budget, executes it on the worker pool, and pools the
 // shard tallies. Same (Shots, Seed, ShardSize) ⇒ bit-identical pooled
 // counts at any worker count.
+//
+// Run is RunContext on a background context: it cannot be cancelled, and a
+// run that cannot complete (exhausted shard retries, checkpoint I/O
+// failure) panics with the error.
 func Run(cfg Config, newWorker func() ShardRunner) Tally {
-	var total Tally
-	for _, t := range MapShards(cfg, newWorker) {
-		total.Add(t)
+	t, err := RunContext(context.Background(), cfg, newWorker)
+	if err != nil {
+		panic(err)
 	}
-	return total
+	return t
 }

@@ -18,9 +18,12 @@ package recorder
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -148,11 +151,85 @@ func (w *Writer) WriteFinal(f Final) error {
 	return w.write(f)
 }
 
+// FileWriter journals to a file on disk and can finalize the artifact
+// atomically, so a reader never observes a half-written final record.
+type FileWriter struct {
+	*Writer
+	path string
+	f    *os.File
+}
+
+// CreateFile creates (truncating) the artifact at path.
+func CreateFile(path string) (*FileWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &FileWriter{Writer: NewWriter(f), path: path, f: f}, nil
+}
+
+// FinalizeAtomic writes the final record atomically: the artifact journaled
+// so far plus the final line go to <path>.tmp, which is then renamed over
+// the original. A reader (cmd/obsdiff) therefore sees either a final-less
+// in-flight artifact or a complete one — never a torn final snapshot —
+// even if the process dies mid-write. The writer is unusable afterwards.
+func (w *FileWriter) FinalizeAtomic(fin Final) error {
+	// Every record is flushed as it is written, so the on-disk file holds
+	// the full journal up to this point.
+	data, err := os.ReadFile(w.path)
+	if err != nil {
+		return err
+	}
+	fin.Type = "final"
+	line, err := json.Marshal(fin)
+	if err != nil {
+		return err
+	}
+	tmp := w.path + ".tmp"
+	tf, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := tf.Write(data); err == nil {
+		_, err = tf.Write(append(line, '\n'))
+	}
+	if err == nil {
+		err = tf.Sync()
+	}
+	if cerr := tf.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return w.f.Close()
+}
+
+// Close closes the underlying file without finalizing (interrupted runs
+// keep their batch journal). It is a no-op after a successful
+// FinalizeAtomic, which already closed the file.
+func (w *FileWriter) Close() error {
+	if err := w.f.Close(); err != nil && !errors.Is(err, os.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
 // Run is a parsed artifact.
 type Run struct {
 	Header  Header
 	Batches []Batch
 	Final   *Final
+
+	// Truncated reports that the artifact ended in a partial line — the
+	// signature of a process killed mid-write. The partial record is
+	// dropped; everything before it is intact.
+	Truncated bool
 }
 
 // TotalShots sums the batch shot deltas.
@@ -173,18 +250,47 @@ func (r *Run) TotalErrors() int64 {
 	return n
 }
 
+// SplitTailTolerant splits a JSONL artifact into its newline-terminated
+// lines plus the unterminated tail, if any. The writers here terminate
+// every record with a newline before flushing, so a non-empty tail is the
+// signature of a process killed mid-write; readers treat a tail that does
+// not parse as a dropped partial record rather than corruption. The
+// checkpoint store shares this discipline.
+func SplitTailTolerant(data []byte) (lines [][]byte, tail []byte) {
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			return lines, data
+		}
+		lines = append(lines, data[:nl])
+		data = data[nl+1:]
+	}
+	return lines, nil
+}
+
 // Read parses a JSONL artifact. It requires the header to be the first
-// record, tolerates a missing final record (crashed or in-flight run), and
-// skips record types it does not know.
+// record, tolerates a missing final record and a partial (crash-truncated)
+// last line — reported via Run.Truncated — and skips record types it does
+// not know.
 func Read(r io.Reader) (*Run, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // final snapshots can be large
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("recorder: %w", err)
+	}
+	lines, tail := SplitTailTolerant(data)
 	run := &Run{}
+	if len(tail) > 0 {
+		// A tail that parses is a complete record whose newline was lost;
+		// anything else is the torn write of a killed process — drop it.
+		if json.Valid(tail) {
+			lines = append(lines, tail)
+		} else {
+			run.Truncated = true
+		}
+	}
 	sawHeader := false
-	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
+	for i, raw := range lines {
+		line := i + 1
 		if len(raw) == 0 {
 			continue
 		}
@@ -221,9 +327,6 @@ func Read(r io.Reader) (*Run, error) {
 		if !sawHeader {
 			return nil, fmt.Errorf("recorder: line %d: first record must be the header", line)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("recorder: %w", err)
 	}
 	if !sawHeader {
 		return nil, fmt.Errorf("recorder: empty artifact")

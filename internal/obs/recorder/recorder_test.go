@@ -2,6 +2,8 @@ package recorder
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"testing"
@@ -85,6 +87,86 @@ func TestReadRejectsMalformedArtifacts(t *testing.T) {
 		if _, err := Read(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: expected error", name)
 		}
+	}
+}
+
+func TestFileWriterFinalizeAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	w, err := CreateFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteHeader(NewHeader("hetarch", "fig9", "quick", 7, 2, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(Batch{Name: "fig9", Shots: 512, TotalShots: 512}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.FinalizeAtomic(Final{WallSeconds: 1.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Close after finalize must be a clean no-op (the CLI defers it).
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("finalize left %s.tmp behind (err=%v)", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Truncated || run.Final == nil || run.Final.WallSeconds != 1.5 {
+		t.Fatalf("finalized artifact parsed as %+v (final %+v)", run, run.Final)
+	}
+	if len(run.Batches) != 1 || run.TotalShots() != 512 {
+		t.Fatalf("batches lost through finalize: %+v", run.Batches)
+	}
+}
+
+func TestReadTruncatedFinalSnapshot(t *testing.T) {
+	// Fixture: a run whose final metrics snapshot was torn mid-write by a
+	// kill. The partial final line must be dropped (Final nil, Truncated
+	// set) with every batch before it intact.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteHeader(NewHeader("hetarch", "fig9", "quick", 7, 2, nil))
+	w.WriteBatch(Batch{Name: "fig9", Shots: 512, TotalShots: 512})
+	reg := obs.NewRegistry()
+	reg.Counter("surface.shots").Add(512)
+	w.WriteFinal(Final{WallSeconds: 2, Metrics: reg.Snapshot()})
+
+	torn := buf.Bytes()[:buf.Len()-17] // cut inside the final record's JSON
+	run, err := Read(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Truncated {
+		t.Fatal("torn final snapshot not reported as truncated")
+	}
+	if run.Final != nil {
+		t.Fatalf("torn final snapshot surfaced as %+v", run.Final)
+	}
+	if len(run.Batches) != 1 || run.TotalShots() != 512 {
+		t.Fatalf("batches before the tear were lost: %+v", run.Batches)
+	}
+}
+
+func TestReadTailWithoutNewlineIsComplete(t *testing.T) {
+	// A file whose last record lost only its newline (flush raced the kill)
+	// still carries a complete JSON object: keep it.
+	in := `{"type":"header","experiment":"fig9"}` + "\n" +
+		`{"type":"batch","name":"fig9","shots":5}` // no trailing newline
+	run, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Truncated || len(run.Batches) != 1 || run.TotalShots() != 5 {
+		t.Fatalf("newline-less complete tail mishandled: %+v", run)
 	}
 }
 

@@ -17,6 +17,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -140,8 +141,9 @@ func serveSSE(w http.ResponseWriter, r *http.Request, hb *obs.Heartbeat) {
 
 // Server is a running telemetry server.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
+	ln   net.Listener
+	srv  *http.Server
+	stop context.CancelFunc // cancels the base context of every request
 }
 
 // Start listens on addr (e.g. ":8080", "127.0.0.1:0") and serves the
@@ -152,11 +154,17 @@ func Start(addr string, opts Options) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry listen %s: %w", addr, err)
 	}
+	// Every request context derives from base, so cancelling it unblocks
+	// long-lived SSE streams — otherwise http.Server.Shutdown would wait on
+	// them forever (an SSE subscriber is never "idle").
+	base, stop := context.WithCancel(context.Background())
 	s := &Server{
-		ln: ln,
+		ln:   ln,
+		stop: stop,
 		srv: &http.Server{
 			Handler:           Handler(opts),
 			ReadHeaderTimeout: 5 * time.Second,
+			BaseContext:       func(net.Listener) context.Context { return base },
 		},
 	}
 	go s.srv.Serve(ln)
@@ -166,5 +174,23 @@ func Start(addr string, opts Options) (*Server, error) {
 // Addr returns the bound address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
+// Shutdown stops the server gracefully: it disconnects SSE subscribers (by
+// cancelling their request contexts), stops accepting connections, and
+// drains in-flight requests until ctx expires, at which point remaining
+// connections are closed hard.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stop()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with connections still open: close them hard. The
+		// shutdown error (the deadline) is the one worth reporting.
+		s.srv.Close()
+	}
+	return err
+}
+
 // Close shuts the server down immediately, dropping open SSE streams.
-func (s *Server) Close() error { return s.srv.Close() }
+func (s *Server) Close() error {
+	s.stop()
+	return s.srv.Close()
+}

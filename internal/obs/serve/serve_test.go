@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -177,6 +178,53 @@ func TestIndexAndPprof(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 404 {
 		t.Fatalf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestShutdownDisconnectsSSESubscribers: an SSE stream is never "idle", so a
+// plain http.Server.Shutdown would wait on it until the deadline. Server
+// .Shutdown must cancel the subscriber's request context first, letting the
+// drain complete promptly and the client observe a clean end of stream.
+func TestShutdownDisconnectsSSESubscribers(t *testing.T) {
+	opts, reg, _ := testOptions()
+	shots := reg.Counter("surface.shots")
+	hb := obs.StartHeartbeat(io.Discard, 5*time.Millisecond, 10000, shots.Value)
+	defer hb.Stop()
+	opts.Heartbeat = hb
+
+	srv, err := Start("127.0.0.1:0", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/progress?sse=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	if line, err := br.ReadString('\n'); err != nil || !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("no initial SSE event (line %q, err %v)", line, err)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		io.Copy(io.Discard, br) // runs until the server ends the stream
+		close(done)
+	}()
+
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v: SSE subscriber was not drained, it was waited out", d)
+	}
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("SSE subscriber still connected after Shutdown returned")
 	}
 }
 

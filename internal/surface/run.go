@@ -1,6 +1,7 @@
 package surface
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -145,8 +146,22 @@ func (e *Experiment) Run(shots int, seed int64) Result {
 // counters advance once per shard, keeping the progress heartbeat live
 // without per-shot atomics.
 func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
+	res, err := e.RunContext(context.Background(), shots, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is RunSharded under a context: cancellation or deadline expiry
+// stops dispatching new shards and returns the pooled tally of the shards
+// that completed, alongside a *mc.PartialError identifying them. With a
+// checkpoint installed (mc.SetCheckpoint) completed shards are persisted and
+// skipped on resume, so an interrupted run can be finished later with
+// bit-identical counts.
+func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, workers int) (Result, error) {
 	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
-	tally := mc.Run(cfg, func() mc.ShardRunner {
+	tally, err := mc.RunContext(ctx, cfg, func() mc.ShardRunner {
 		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(0)))
 		uf := e.uf.Clone()
 		defects := make([]bool, e.Graph.NumNodes)
@@ -177,7 +192,7 @@ func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
 			return t
 		}
 	})
-	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors), Rounds: e.Params.Rounds}
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors), Rounds: e.Params.Rounds}, err
 }
 
 // Sampler pairs a frame sampler with the experiment's decoder so shots can

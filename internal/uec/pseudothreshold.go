@@ -1,6 +1,9 @@
 package uec
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Pseudothreshold finds the physical two-qubit error rate at which the
 // module's combined logical error rate equals the physical rate — the
@@ -21,7 +24,20 @@ import "math"
 // workers is the mc engine's goroutine count per grid point (<= 0 means
 // runtime.NumCPU()); it never affects the fitted value.
 func Pseudothreshold(base Params, shots int, seed int64, workers int) (pt float64, ok bool) {
-	combined := func(p2 float64) float64 {
+	pt, ok, err := PseudothresholdContext(context.Background(), base, shots, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return pt, ok
+}
+
+// PseudothresholdContext is Pseudothreshold under a context: cancellation
+// between or during grid points abandons the fit and returns the context's
+// error (wrapped in a *mc.PartialError by the engine). The fit itself only
+// runs on a fully sampled grid, so a partial sweep never produces a skewed
+// pseudothreshold.
+func PseudothresholdContext(ctx context.Context, base Params, shots int, seed int64, workers int) (pt float64, ok bool, err error) {
+	combined := func(p2 float64) (float64, error) {
 		total := 0.0
 		for _, basis := range []byte{'Z', 'X'} {
 			p := base
@@ -35,15 +51,22 @@ func Pseudothreshold(base Params, shots int, seed int64, workers int) (pt float6
 			if err != nil {
 				panic(err)
 			}
-			total += e.RunSharded(shots, seed, workers).LogicalErrorRate()
+			r, err := e.RunContext(ctx, shots, seed, workers)
+			if err != nil {
+				return 0, err
+			}
+			total += r.LogicalErrorRate()
 		}
-		return total
+		return total, nil
 	}
 
 	grid := []float64{0.003, 0.006, 0.012, 0.024, 0.048}
 	var xs, ys []float64
 	for _, p := range grid {
-		r := combined(p)
+		r, err := combined(p)
+		if err != nil {
+			return 0, false, err
+		}
 		if r <= 0 {
 			continue // no statistics at this point
 		}
@@ -51,11 +74,11 @@ func Pseudothreshold(base Params, shots int, seed int64, workers int) (pt float6
 		ys = append(ys, math.Log(r))
 	}
 	if len(xs) < 2 {
-		return 0, false
+		return 0, false, nil
 	}
 	a, b := fitLine(xs, ys)
 	if b <= 1 {
-		return 0, false // logical rate does not fall faster than physical
+		return 0, false, nil // logical rate does not fall faster than physical
 	}
 	// Solve a + b·log(p) = log(p)  =>  log(p) = a / (1 - b).
 	logPT := a / (1 - b)
@@ -64,9 +87,9 @@ func Pseudothreshold(base Params, shots int, seed int64, workers int) (pt float6
 	// model is not trustworthy there (e.g. the Reed-Muller code's logical
 	// rate stays above break-even throughout the near-term regime).
 	if pt < 1e-5 || math.IsNaN(pt) || pt > 1 {
-		return 0, false
+		return 0, false, nil
 	}
-	return pt, true
+	return pt, true, nil
 }
 
 // fitLine returns the least-squares intercept and slope of y against x.

@@ -1,6 +1,7 @@
 package uec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -170,9 +171,21 @@ func (m *MemoryExperiment) Run(shots int, seed int64) Result {
 // the full R-round circuit, so scalar sampling is the right granularity).
 // Pooled (shots, errors) are bit-identical for any worker count.
 func (m *MemoryExperiment) RunSharded(shots int, seed int64, workers int) Result {
+	res, err := m.RunContext(context.Background(), shots, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is RunSharded under a context: cancellation stops dispatching
+// new shards and returns the exact pooled tally of the completed shards
+// alongside a *mc.PartialError; an installed checkpoint makes the run
+// resumable without re-executing completed shards.
+func (m *MemoryExperiment) RunContext(ctx context.Context, shots int, seed int64, workers int) (Result, error) {
 	k := m.E.numChecks
 	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
-	tally := mc.Run(cfg, func() mc.ShardRunner {
+	tally, err := mc.RunContext(ctx, cfg, func() mc.ShardRunner {
 		fs := stabsim.NewFrameSampler(m.circuit, rand.New(rand.NewSource(0)))
 		return func(sh mc.Shard) mc.Tally {
 			fs.SetRNG(sh.RNG())
@@ -202,7 +215,7 @@ func (m *MemoryExperiment) RunSharded(shots int, seed int64, workers int) Result
 			return t
 		}
 	})
-	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}, err
 }
 
 // PerRoundErrorRate converts the per-shot failure probability to a

@@ -10,6 +10,7 @@
 package uec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -523,9 +524,22 @@ func (e *Experiment) Run(shots int, seed int64) Result {
 // after construction and shared read-only. Pooled (shots, errors) are
 // bit-identical for any worker count (<= 0 means runtime.NumCPU()).
 func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
+	res, err := e.RunContext(context.Background(), shots, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// RunContext is RunSharded under a context: cancellation stops dispatching
+// new shards and returns the exact pooled tally of the completed shards
+// alongside a *mc.PartialError. With a checkpoint installed via
+// mc.SetCheckpoint, completed shards persist across interrupts and are not
+// re-executed on resume.
+func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, workers int) (Result, error) {
 	k := e.numChecks
 	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
-	tally := mc.Run(cfg, func() mc.ShardRunner {
+	tally, err := mc.RunContext(ctx, cfg, func() mc.ShardRunner {
 		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(0)))
 		return func(sh mc.Shard) mc.Tally {
 			bs.SetRNG(sh.RNG())
@@ -564,5 +578,5 @@ func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
 			return t
 		}
 	})
-	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}
+	return Result{Shots: int(tally.Shots), LogicalErrors: int(tally.Errors)}, err
 }
