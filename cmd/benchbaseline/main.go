@@ -71,6 +71,14 @@ func main() {
 				fatal(err)
 			}
 		}},
+		// dse is characterization-shaped, not shot-shaped: its entry records
+		// wall time of a cold in-memory sweep (shots stay 0), anchoring the
+		// warm-vs-cold cache benchmarks in bench_test.go.
+		{"dse", func() {
+			if _, err := experiments.DSE(ctx, experiments.DSEOptions{Workers: sc.Workers}); err != nil {
+				fatal(err)
+			}
+		}},
 	}
 
 	b := Baseline{

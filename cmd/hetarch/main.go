@@ -5,7 +5,7 @@
 //
 //	hetarch <experiment> [-quick] [-seed N] [-shots N] [-json] [-metrics]
 //	        [-progress] [-listen ADDR] [-record FILE] [-checkpoint FILE]
-//	        [-cpuprofile FILE] [-memprofile FILE]
+//	        [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
@@ -21,6 +21,11 @@
 // re-invoked with the same flags skips them, producing output bit-identical
 // to an uninterrupted run. Exit codes: 0 success, 1 runtime error, 2 usage
 // error, 3 interrupted (checkpoint, if any, flushed).
+//
+// -cache-dir points the characterization-heavy experiments (dse, cells) at
+// a persistent content-addressed cache of standard-cell characterizations:
+// a warm re-run produces bit-identical stdout while skipping density-matrix
+// simulation entirely (cache accounting goes to stderr and -metrics).
 //
 // Experiment results go to stdout; everything else — timing lines, the
 // -progress heartbeat, and the -metrics telemetry (counter snapshot plus
@@ -42,6 +47,8 @@ import (
 	"syscall"
 	"time"
 
+	"hetarch/internal/core"
+	dsecache "hetarch/internal/dse/cache"
 	"hetarch/internal/experiments"
 	"hetarch/internal/mc"
 	"hetarch/internal/mc/checkpoint"
@@ -77,6 +84,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	listen := fs.String("listen", "", "serve live telemetry over HTTP on `addr` (/metrics, /progress, /spans, /debug/pprof)")
 	record := fs.String("record", "", "journal the run to a JSONL flight-recorder artifact at `file`")
 	ckptPath := fs.String("checkpoint", "", "persist completed Monte Carlo shards to `file`; rerunning with the same flags resumes")
+	cacheDir := fs.String("cache-dir", "", "persist standard-cell characterizations to `dir`; warm runs of dse/cells skip density-matrix simulation")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	if len(args) == 0 {
@@ -202,6 +210,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	// The persistent characterization cache is an optional store; without
+	// -cache-dir the characterization-heavy runners keep their historical
+	// behaviour (dse memoizes in-process, cells simulates directly).
+	var charStore core.CharacterizationStore
+	if *cacheDir != "" {
+		dir, err := dsecache.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "hetarch: cache-dir:", err)
+			return exitError
+		}
+		charStore = dir
+		fmt.Fprintf(stderr, "characterization cache: %s\n", dir.Path())
+	}
+
 	var rec *recorder.FileWriter
 	if *record != "" {
 		var err error
@@ -222,17 +244,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		emit = tableJSON(stdout)
 	}
 	runners := map[string]func() error{
-		"devices":  func() error { experiments.Table1(stdout); return nil },
-		"cells":    func() error { return experiments.Table2(stdout) },
-		"fig3":     emit(func() (*experiments.Table, error) { return experiments.Fig3(ctx, sc, *seed) }),
-		"fig4":     emit(func() (*experiments.Table, error) { return experiments.Fig4(ctx, sc, *seed) }),
-		"fig6":     emit(func() (*experiments.Table, error) { return experiments.Fig6(ctx, sc, *seed) }),
-		"fig7":     emit(func() (*experiments.Table, error) { return experiments.Fig7(ctx, sc, *seed) }),
-		"fig9":     emit(func() (*experiments.Table, error) { return experiments.Fig9(ctx, sc, *seed) }),
-		"table3":   emit(func() (*experiments.Table, error) { return experiments.Table3(ctx, sc, *seed) }),
-		"fig12":    emit(func() (*experiments.Table, error) { return experiments.Fig12(ctx, sc, *seed) }),
-		"table4":   emit(func() (*experiments.Table, error) { return experiments.Table4(ctx, sc, *seed) }),
-		"dse":      func() error { experiments.FprintDSE(stdout); return nil },
+		"devices": func() error { experiments.Table1(stdout); return nil },
+		"cells":   func() error { return experiments.Table2Store(stdout, charStore) },
+		"fig3":    emit(func() (*experiments.Table, error) { return experiments.Fig3(ctx, sc, *seed) }),
+		"fig4":    emit(func() (*experiments.Table, error) { return experiments.Fig4(ctx, sc, *seed) }),
+		"fig6":    emit(func() (*experiments.Table, error) { return experiments.Fig6(ctx, sc, *seed) }),
+		"fig7":    emit(func() (*experiments.Table, error) { return experiments.Fig7(ctx, sc, *seed) }),
+		"fig9":    emit(func() (*experiments.Table, error) { return experiments.Fig9(ctx, sc, *seed) }),
+		"table3":  emit(func() (*experiments.Table, error) { return experiments.Table3(ctx, sc, *seed) }),
+		"fig12":   emit(func() (*experiments.Table, error) { return experiments.Fig12(ctx, sc, *seed) }),
+		"table4":  emit(func() (*experiments.Table, error) { return experiments.Table4(ctx, sc, *seed) }),
+		"dse": emit(func() (*experiments.Table, error) {
+			r, err := experiments.DSE(ctx, experiments.DSEOptions{Workers: *workers, Store: charStore})
+			if err != nil {
+				return nil, err
+			}
+			// Cache accounting differs between cold and warm runs; it is
+			// telemetry, so it goes to stderr and stdout stays bit-identical
+			// across cache states.
+			r.FprintDSEStats(stderr)
+			return r.Table(), nil
+		}),
 		"devstudy": emit(func() (*experiments.Table, error) { return experiments.DeviceStudy(ctx, sc, *seed) }),
 		"capacity": emit(func() (*experiments.Table, error) { return experiments.CapacitySweep(ctx, sc, *seed) }),
 		"protocol": func() error { return experiments.ProtocolCheck(stdout, *seed) },

@@ -10,6 +10,7 @@ import (
 
 	"hetarch/internal/mc"
 	"hetarch/internal/mc/chaos"
+	"hetarch/internal/obs"
 )
 
 // TestRunFlagValidation: misconfiguration must be a usage error (exit 2)
@@ -91,5 +92,97 @@ func TestChaosCLIInterruptResumeBitIdentical(t *testing.T) {
 	if out2.String() != want.String() {
 		t.Fatalf("resumed output differs from uninterrupted run:\n-- resumed --\n%s\n-- reference --\n%s",
 			out2.String(), want.String())
+	}
+}
+
+func dseCacheCounters() (hits, misses, writes int64) {
+	s := obs.Default.Snapshot()
+	return s.Counter("dse.cache_hits"), s.Counter("dse.cache_misses"), s.Counter("dse.cache_writes")
+}
+
+// TestDSEColdWarmBitIdentical is the persistent-cache contract end to end:
+// a warm -cache-dir run must print stdout bit-identical to the cold run
+// while serving every characterization from disk (nonzero dse.cache_hits,
+// zero new writes).
+func TestDSEColdWarmBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	argv := []string{"dse", "-quick", "-cache-dir", dir}
+
+	_, _, w0 := dseCacheCounters()
+	var cold, coldErr bytes.Buffer
+	if code := run(argv, &cold, &coldErr); code != exitOK {
+		t.Fatalf("cold run exited %d: %s", code, coldErr.String())
+	}
+	_, _, w1 := dseCacheCounters()
+	if w1-w0 <= 0 {
+		t.Fatal("cold run wrote no cache entries")
+	}
+
+	h0, _, _ := dseCacheCounters()
+	var warm, warmErr bytes.Buffer
+	if code := run(argv, &warm, &warmErr); code != exitOK {
+		t.Fatalf("warm run exited %d: %s", code, warmErr.String())
+	}
+	h1, _, w2 := dseCacheCounters()
+	if h1-h0 <= 0 {
+		t.Fatal("warm run had no cache hits")
+	}
+	if w2 != w1 {
+		t.Fatalf("warm run wrote %d new entries, want 0", w2-w1)
+	}
+	if warm.String() != cold.String() {
+		t.Fatalf("warm stdout differs from cold:\n-- warm --\n%s\n-- cold --\n%s", warm.String(), cold.String())
+	}
+	if !strings.Contains(warmErr.String(), "served from cache (100%)") {
+		t.Fatalf("warm stderr missing full-hit accounting: %s", warmErr.String())
+	}
+}
+
+// TestDSEWorkerCountInvariant: the sweep table must be bit-identical at any
+// -workers setting, with or without a persistent cache.
+func TestDSEWorkerCountInvariant(t *testing.T) {
+	dir := t.TempDir()
+	runArgs := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitOK {
+			t.Fatalf("run(%q) exited %d: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+	base := runArgs("dse", "-quick", "-workers", "1")
+	for _, args := range [][]string{
+		{"dse", "-quick", "-workers", "4"},
+		{"dse", "-quick"},
+		{"dse", "-quick", "-workers", "4", "-cache-dir", dir},
+		{"dse", "-quick", "-workers", "1", "-cache-dir", dir}, // warm
+	} {
+		if got := runArgs(args...); got != base {
+			t.Fatalf("run(%q) stdout diverges from -workers 1:\n%s\nvs\n%s", args, got, base)
+		}
+	}
+}
+
+// TestCellsCacheBitIdentical: Table 2 routed through the persistent cache
+// must match the direct-characterization output exactly.
+func TestCellsCacheBitIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var direct, cold, warm, stderr bytes.Buffer
+	if code := run([]string{"cells"}, &direct, &stderr); code != exitOK {
+		t.Fatalf("direct run exited %d: %s", code, stderr.String())
+	}
+	if code := run([]string{"cells", "-cache-dir", dir}, &cold, &stderr); code != exitOK {
+		t.Fatalf("cold run exited %d: %s", code, stderr.String())
+	}
+	h0, _, _ := dseCacheCounters()
+	if code := run([]string{"cells", "-cache-dir", dir}, &warm, &stderr); code != exitOK {
+		t.Fatalf("warm run exited %d: %s", code, stderr.String())
+	}
+	h1, _, _ := dseCacheCounters()
+	if h1-h0 <= 0 {
+		t.Fatal("warm cells run had no cache hits")
+	}
+	if cold.String() != direct.String() || warm.String() != direct.String() {
+		t.Fatal("cached cells output differs from direct characterization")
 	}
 }

@@ -23,6 +23,7 @@
 package hetarch
 
 import (
+	"context"
 	"math/rand"
 
 	"hetarch/internal/cell"
@@ -31,6 +32,8 @@ import (
 	"hetarch/internal/decoder"
 	"hetarch/internal/device"
 	"hetarch/internal/distill"
+	"hetarch/internal/dse"
+	dsecache "hetarch/internal/dse/cache"
 	"hetarch/internal/pauli"
 	"hetarch/internal/qec"
 	"hetarch/internal/statevec"
@@ -152,6 +155,29 @@ type Characterizer = core.Characterizer
 // NewCharacterizer returns an empty characterization cache.
 func NewCharacterizer() *Characterizer { return core.NewCharacterizer() }
 
+// CharacterizationStore is the persistence layer behind a Characterizer:
+// in-memory by default, or a content-addressed on-disk cache via
+// OpenCharacterizationCache.
+type CharacterizationStore = core.CharacterizationStore
+
+// NewCharacterizerWithStore returns a characterizer over the given store.
+func NewCharacterizerWithStore(s CharacterizationStore) *Characterizer {
+	return core.NewCharacterizerWithStore(s)
+}
+
+// OpenCharacterizationCache opens (creating if needed) a persistent
+// characterization cache directory: one versioned JSON entry per distinct
+// cell configuration, addressed by CharacterizationKey. Warm processes
+// sharing the directory skip density-matrix simulation entirely.
+func OpenCharacterizationCache(dir string) (CharacterizationStore, error) {
+	return dsecache.Open(dir)
+}
+
+// CharacterizationKey returns the canonical content address of a cell's
+// characterization: a hash of the cell's topology, every device parameter,
+// and the characterization code version.
+func CharacterizationKey(c *Cell) string { return dsecache.Key(c) }
+
 // ErrorBudget composes independent module error contributions.
 type ErrorBudget = core.ErrorBudget
 
@@ -172,6 +198,18 @@ func Sweep(params []SweepParam, fn func(SweepPoint) map[string]float64) []SweepR
 // ParetoFront filters sweep results to the Pareto-optimal set.
 func ParetoFront(results []SweepResult, minimize []string) []SweepResult {
 	return core.ParetoFront(results, minimize)
+}
+
+// SweepPartialError reports a parallel sweep that stopped early; the
+// results returned alongside it are the completed prefix of the grid.
+type SweepPartialError = dse.PartialError
+
+// SweepParallel evaluates the full factorial grid across worker goroutines
+// (workers <= 0 means NumCPU) with bit-identical results at any worker
+// count. On cancellation or an evaluator error it returns the longest
+// completed prefix of the grid and a *SweepPartialError.
+func SweepParallel(ctx context.Context, params []SweepParam, workers int, fn func(SweepPoint) (map[string]float64, error)) ([]SweepResult, error) {
+	return dse.Sweep(ctx, params, dse.Config{Workers: workers}, fn)
 }
 
 // QEC codes.

@@ -1,0 +1,63 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+
+	"hetarch/internal/device"
+)
+
+func fpCell(ts float64, modes, ext int) *Cell {
+	return NewRegister(device.StandardStorage(ts, modes), device.StandardCompute(50), ext)
+}
+
+func TestFingerprintIsPure(t *testing.T) {
+	a := Fingerprint(fpCell(25, 3, 1))
+	b := Fingerprint(fpCell(25, 3, 1))
+	if a != b {
+		t.Fatal("fingerprint differs across identical cells")
+	}
+	if a == "" || !strings.HasPrefix(a, "cell ") {
+		t.Fatalf("unexpected fingerprint shape: %q", a)
+	}
+}
+
+func TestFingerprintSeparatesConfigurations(t *testing.T) {
+	base := Fingerprint(fpCell(25, 3, 1))
+	variants := map[string]string{
+		"storage time":     Fingerprint(fpCell(50, 3, 1)),
+		"mode count":       Fingerprint(fpCell(25, 10, 1)),
+		"external links":   Fingerprint(fpCell(25, 3, 2)),
+		"tiny float delta": Fingerprint(fpCell(25*(1+1e-15), 3, 1)),
+	}
+	for name, fp := range variants {
+		if fp == base {
+			t.Errorf("fingerprint does not separate cells differing in %s", name)
+		}
+	}
+}
+
+func TestFingerprintIgnoresNotes(t *testing.T) {
+	mk := func(notes string) *Cell {
+		s := device.StandardStorage(25, 3)
+		s.Notes = notes
+		return NewRegister(s, device.StandardCompute(50), 1)
+	}
+	if Fingerprint(mk("a")) != Fingerprint(mk("b")) {
+		t.Fatal("fingerprint depends on documentation-only Notes")
+	}
+}
+
+func TestFingerprintCoversCouplingsAndReadout(t *testing.T) {
+	a := fpCell(25, 3, 1)
+	b := fpCell(25, 3, 1)
+	b.ReadoutNeed++
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("fingerprint misses ReadoutNeed")
+	}
+	c := fpCell(25, 3, 1)
+	c.Couplings = append(c.Couplings, [2]int{0, 0})
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("fingerprint misses couplings")
+	}
+}

@@ -135,36 +135,84 @@ func (m *Module) Tree() string {
 // delivers the paper's simulation-burden reduction: each distinct cell
 // configuration is density-matrix-simulated once, then reused as a channel
 // across the whole design space sweep.
+//
+// Persistence is delegated to a CharacterizationStore: the default is the
+// in-memory MemStore (the historical behaviour), while a dse/cache.Dir
+// store makes characterizations survive the process. On top of the store,
+// the Characterizer runs misses single-flight: concurrent requests for the
+// same key — the normal case under the parallel sweep engine, whose workers
+// all reach the first grid point of a new cell configuration together —
+// perform exactly one density-matrix simulation, with the losers blocking
+// on the winner's result.
 type Characterizer struct {
-	mu    sync.Mutex
-	cache map[string]*cell.Characterization
+	store CharacterizationStore
+
+	mu       sync.Mutex
+	inflight map[string]*flight
 }
 
-// NewCharacterizer returns an empty cache.
+// flight is one in-progress characterization; followers block on done and
+// then share res/err.
+type flight struct {
+	done chan struct{}
+	res  *cell.Characterization
+	err  error
+}
+
+// NewCharacterizer returns a characterizer over a fresh in-memory store.
 func NewCharacterizer() *Characterizer {
-	return &Characterizer{cache: map[string]*cell.Characterization{}}
+	return NewCharacterizerWithStore(NewMemStore())
+}
+
+// NewCharacterizerWithStore returns a characterizer backed by the given
+// store (e.g. a persistent dse/cache directory).
+func NewCharacterizerWithStore(s CharacterizationStore) *Characterizer {
+	return &Characterizer{store: s, inflight: map[string]*flight{}}
 }
 
 // Characterize returns the memoized characterization for key, running fn on
-// a miss. Keys must uniquely encode the cell's device parameters.
+// a miss. Keys must uniquely encode the cell's device parameters (use
+// cell.Fingerprint / dse/cache.Key for the canonical construction). A
+// result served from the store or from another goroutine's in-flight
+// simulation counts as a hit; only the goroutine that actually runs fn
+// counts a miss. Failed characterizations are never stored.
 func (ch *Characterizer) Characterize(key string, c *cell.Cell, fn func(*cell.Cell) (*cell.Characterization, error)) (*cell.Characterization, error) {
 	charCalls.Inc()
-	ch.mu.Lock()
-	if got, ok := ch.cache[key]; ok {
-		ch.mu.Unlock()
+	if got, ok, err := ch.store.Load(key); err != nil {
+		return nil, err
+	} else if ok {
 		charHits.Inc()
 		return got, nil
 	}
+
+	ch.mu.Lock()
+	if f, ok := ch.inflight[key]; ok {
+		ch.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, f.err
+		}
+		charHits.Inc()
+		return f.res, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	ch.inflight[key] = f
 	ch.mu.Unlock()
+
 	charMisses.Inc()
 	res, err := fn(c)
-	if err != nil {
-		return nil, err
+	if err == nil {
+		err = ch.store.Store(key, res)
 	}
+	if err != nil {
+		res = nil
+	}
+	f.res, f.err = res, err
 	ch.mu.Lock()
-	ch.cache[key] = res
+	delete(ch.inflight, key)
 	ch.mu.Unlock()
-	return res, nil
+	close(f.done)
+	return res, err
 }
 
 // Stats reports the process-wide (calls, hits) totals straight from the obs

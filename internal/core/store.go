@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sync"
+
+	"hetarch/internal/cell"
+)
+
+// CharacterizationStore is the persistence layer behind a Characterizer.
+// The in-memory implementation below preserves the historical per-instance
+// memoization; internal/dse/cache provides a persistent, content-addressed
+// directory store so characterization survives the process — the cost-
+// hierarchy payoff of Section 4's simulation methodology made durable.
+//
+// Keys must uniquely encode everything the characterization depends on
+// (cell topology + device parameters + code version); cell.Fingerprint and
+// dse/cache.Key provide the canonical construction.
+type CharacterizationStore interface {
+	// Load returns the characterization stored under key. ok is false for a
+	// plain miss; err is reserved for entries that exist but cannot be
+	// trusted (corruption, version mismatch) and for I/O failures — a
+	// non-nil err fails the characterization rather than silently
+	// re-simulating over a broken store.
+	Load(key string) (c *cell.Characterization, ok bool, err error)
+	// Store persists a freshly computed characterization. Persistent
+	// implementations must be durable when Store returns.
+	Store(key string, c *cell.Characterization) error
+}
+
+// MemStore is the in-process CharacterizationStore: a mutex-guarded map,
+// exactly the memoization Characterizer always had. The zero value is not
+// usable; construct with NewMemStore.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string]*cell.Characterization
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: map[string]*cell.Characterization{}}
+}
+
+// Load implements CharacterizationStore; it never fails.
+func (s *MemStore) Load(key string) (*cell.Characterization, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.m[key]
+	return c, ok, nil
+}
+
+// Store implements CharacterizationStore; it never fails.
+func (s *MemStore) Store(key string, c *cell.Characterization) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = c
+	return nil
+}
+
+// Len reports the number of stored characterizations.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

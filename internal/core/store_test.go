@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hetarch/internal/cell"
+)
+
+// blockingStore wraps MemStore so a test can inject failures.
+type failingStore struct {
+	*MemStore
+	loadErr  error
+	storeErr error
+}
+
+func (s *failingStore) Load(key string) (*cell.Characterization, bool, error) {
+	if s.loadErr != nil {
+		return nil, false, s.loadErr
+	}
+	return s.MemStore.Load(key)
+}
+
+func (s *failingStore) Store(key string, c *cell.Characterization) error {
+	if s.storeErr != nil {
+		return s.storeErr
+	}
+	return s.MemStore.Store(key, c)
+}
+
+func TestMemStoreRoundTrip(t *testing.T) {
+	s := NewMemStore()
+	if _, ok, err := s.Load("k"); ok || err != nil {
+		t.Fatalf("empty store Load = (ok=%v, err=%v)", ok, err)
+	}
+	want := &cell.Characterization{Cell: "c"}
+	if err := s.Store("k", want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Load("k")
+	if err != nil || !ok || got != want {
+		t.Fatalf("Load = (%p, %v, %v), want stored pointer", got, ok, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestCharacterizerSingleFlight releases many concurrent requests for one
+// key and requires exactly one execution of the characterization function,
+// with every caller receiving its result.
+func TestCharacterizerSingleFlight(t *testing.T) {
+	ch := NewCharacterizer()
+	var runs atomic.Int64
+	want := &cell.Characterization{Cell: "sf"}
+	start := make(chan struct{})
+	const callers = 16
+	var wg sync.WaitGroup
+	results := make([]*cell.Characterization, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			results[i], errs[i] = ch.Characterize("sf", nil, func(*cell.Cell) (*cell.Characterization, error) {
+				runs.Add(1)
+				time.Sleep(5 * time.Millisecond) // hold the flight open so followers pile up
+				return want, nil
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("characterization ran %d times for one key, want 1", got)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || results[i] != want {
+			t.Fatalf("caller %d got (%p, %v), want the shared result", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestCharacterizerSingleFlightError shares the leader's failure with
+// followers and leaves nothing cached, so a retry re-runs.
+func TestCharacterizerSingleFlightError(t *testing.T) {
+	ch := NewCharacterizer()
+	boom := fmt.Errorf("simulation diverged")
+	var runs atomic.Int64
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var wg sync.WaitGroup
+	var followerErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+			runs.Add(1)
+			close(leaderIn)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-leaderIn
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, followerErr = ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+			runs.Add(1)
+			return nil, boom
+		})
+	}()
+	// Give the follower a moment to join the flight, then fail the leader.
+	time.Sleep(2 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if !errors.Is(followerErr, boom) && followerErr != nil {
+		// The follower either joined the flight (shared error) or ran after
+		// the flight closed (its own execution, same error).
+		t.Fatalf("follower error = %v, want %v", followerErr, boom)
+	}
+	if followerErr == nil {
+		t.Fatal("follower unexpectedly succeeded")
+	}
+	// The failure must not be cached: a fresh call re-runs.
+	prev := runs.Load()
+	_, err := ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		runs.Add(1)
+		return &cell.Characterization{Cell: "ok"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != prev+1 {
+		t.Fatal("failed characterization was cached")
+	}
+}
+
+// TestCharacterizerStoreErrors propagates store failures instead of
+// silently degrading to uncached behaviour.
+func TestCharacterizerStoreErrors(t *testing.T) {
+	loadErr := fmt.Errorf("entry is corrupt; delete it")
+	ch := NewCharacterizerWithStore(&failingStore{MemStore: NewMemStore(), loadErr: loadErr})
+	_, err := ch.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		t.Fatal("characterization ran despite an untrustworthy store")
+		return nil, nil
+	})
+	if !errors.Is(err, loadErr) {
+		t.Fatalf("Load error not propagated: %v", err)
+	}
+
+	storeErr := fmt.Errorf("disk full")
+	ch2 := NewCharacterizerWithStore(&failingStore{MemStore: NewMemStore(), storeErr: storeErr})
+	_, err = ch2.Characterize("k", nil, func(*cell.Cell) (*cell.Characterization, error) {
+		return &cell.Characterization{Cell: "c"}, nil
+	})
+	if !errors.Is(err, storeErr) {
+		t.Fatalf("Store error not propagated: %v", err)
+	}
+}
+
+// TestCharacterizerSharedStore is the persistent-cache shape: two
+// characterizers over one store share results.
+func TestCharacterizerSharedStore(t *testing.T) {
+	store := NewMemStore()
+	var runs atomic.Int64
+	fn := func(*cell.Cell) (*cell.Characterization, error) {
+		runs.Add(1)
+		return &cell.Characterization{Cell: "c"}, nil
+	}
+	if _, err := NewCharacterizerWithStore(store).Characterize("k", nil, fn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCharacterizerWithStore(store).Characterize("k", nil, fn); err != nil {
+		t.Fatal(err)
+	}
+	if runs.Load() != 1 {
+		t.Fatalf("characterization ran %d times across a shared store, want 1", runs.Load())
+	}
+}

@@ -1,7 +1,10 @@
 // Package decoder implements the two decoders used by the HetArch
 // experiments: an exact minimum-weight lookup decoder for small codes
 // (Steane, Reed–Muller, color, small surface codes) and a union–find decoder
-// for space–time detector graphs of larger surface codes.
+// for space–time detector graphs of larger surface codes. Both serve the
+// error-corrected memory modules of the paper's Section 4.2 (surface-code
+// memory and universal error correction), whose logical-error rates the
+// evaluation section sweeps.
 package decoder
 
 import (

@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hetarch/internal/cell"
+	"hetarch/internal/device"
+	"hetarch/internal/obs"
+)
+
+func testChar() *cell.Characterization {
+	return &cell.Characterization{
+		Cell: "storage",
+		Ops: []cell.OpReport{
+			{Name: "idle_1us", Duration: 1, Fidelity: 0.99987},
+			{Name: "load", Duration: 0.102, Fidelity: 0.9991},
+		},
+	}
+}
+
+func counters(t *testing.T) (hits, misses, writes int64) {
+	t.Helper()
+	s := obs.Default.Snapshot()
+	return s.Counter("dse.cache_hits"), s.Counter("dse.cache_misses"), s.Counter("dse.cache_writes")
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0, w0 := counters(t)
+
+	const key = "register:ts=0x1p-1:modes=3"
+	if _, ok, err := d.Load(key); err != nil || ok {
+		t.Fatalf("empty cache Load = (ok=%v, err=%v), want plain miss", ok, err)
+	}
+	want := testChar()
+	if err := d.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d.Load(key)
+	if err != nil || !ok {
+		t.Fatalf("Load after Store = (ok=%v, err=%v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mutated the characterization:\n%+v\nvs\n%+v", got, want)
+	}
+	if n, err := d.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = (%d, %v), want 1", n, err)
+	}
+
+	h1, m1, w1 := counters(t)
+	if m1-m0 != 1 || w1-w0 != 1 || h1-h0 != 1 {
+		t.Fatalf("counter deltas hits=%d misses=%d writes=%d, want 1/1/1", h1-h0, m1-m0, w1-w0)
+	}
+}
+
+func TestDirSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("k", testChar()); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := d2.Load("k")
+	if err != nil || !ok {
+		t.Fatalf("Load after reopen = (ok=%v, err=%v)", ok, err)
+	}
+	if !reflect.DeepEqual(got, testChar()) {
+		t.Fatal("reopened entry differs")
+	}
+}
+
+func entryPath(t *testing.T, d *Dir, key string) string {
+	t.Helper()
+	ents, err := os.ReadDir(d.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if filepath.Ext(e.Name()) == ".json" {
+			return filepath.Join(d.Path(), e.Name())
+		}
+	}
+	t.Fatalf("no entry file found for %q", key)
+	return ""
+}
+
+func TestDirRefusesCorruptEntry(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("k", testChar()); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, d, "k")
+	if err := os.WriteFile(path, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.Load("k")
+	if err == nil || !strings.Contains(err.Error(), "delete it") {
+		t.Fatalf("corrupt entry Load err = %v, want a refusal with delete guidance", err)
+	}
+}
+
+func TestDirRefusesVersionMismatch(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("k", testChar()); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, d, "k")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["version"], _ = json.Marshal("cellchar/0 densmat/0")
+	data, _ = json.Marshal(raw)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.Load("k")
+	if err == nil || !strings.Contains(err.Error(), "characterization version") {
+		t.Fatalf("stale-version Load err = %v, want a version refusal", err)
+	}
+}
+
+func TestDirRefusesKeyMismatch(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store("k1", testChar()); err != nil {
+		t.Fatal(err)
+	}
+	// Rename k1's file to where k2 would live: the envelope's stored key
+	// betrays the move.
+	src := entryPath(t, d, "k1")
+	d2 := &Dir{dir: d.Path()}
+	if err := os.Rename(src, d2.file("k2")); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = d.Load("k2")
+	if err == nil || !strings.Contains(err.Error(), "stores key") {
+		t.Fatalf("moved-entry Load err = %v, want a key refusal", err)
+	}
+}
+
+func TestKeyDistinguishesParameters(t *testing.T) {
+	mk := func(ts float64) *cell.Cell {
+		return cell.NewRegister(device.StandardStorage(ts, 3), device.StandardCompute(50), 1)
+	}
+	k1 := Key(mk(25))
+	// Perturbation below any decimal rendering %g would show: the canonical
+	// hex float encoding must still separate the two configurations.
+	k2 := Key(mk(25 * (1 + 1e-15)))
+	if k1 == k2 {
+		t.Fatal("keys collide across distinct device parameters")
+	}
+	if Key(mk(25)) != k1 {
+		t.Fatal("key is not a pure function of the cell")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("key %q is not a hex sha256", k1)
+	}
+}

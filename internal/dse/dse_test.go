@@ -1,0 +1,213 @@
+package dse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"hetarch/internal/core"
+)
+
+func grid() []core.Param {
+	return []core.Param{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{0.5, 1.5}},
+		{Name: "c", Values: []float64{10, 20, 30, 40}},
+	}
+}
+
+func eval(p core.Point) (map[string]float64, error) {
+	return map[string]float64{
+		"sum":  p["a"] + p["b"] + p["c"],
+		"prod": p["a"] * p["b"] * p["c"],
+	}, nil
+}
+
+func TestPointsMatchSerialSweepOrder(t *testing.T) {
+	params := grid()
+	var serial []core.Point
+	core.Sweep(params, func(p core.Point) map[string]float64 {
+		serial = append(serial, p)
+		return nil
+	})
+	points := Points(params)
+	if !reflect.DeepEqual(points, serial) {
+		t.Fatalf("Points enumeration diverges from core.Sweep order:\n%v\nvs\n%v", points, serial)
+	}
+	if len(points) != 3*2*4 {
+		t.Fatalf("expected %d points, got %d", 3*2*4, len(points))
+	}
+}
+
+func TestPointsEmpty(t *testing.T) {
+	if got := Points(nil); got != nil {
+		t.Fatalf("Points(nil) = %v, want nil", got)
+	}
+	if got := Points([]core.Param{{Name: "a"}}); got != nil {
+		t.Fatalf("Points with empty value list = %v, want nil", got)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers is the engine's headline contract:
+// bit-identical results at workers 1, 4 and NumCPU, and identical to the
+// serial core.Sweep.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	params := grid()
+	run := func(workers int) []core.Result {
+		t.Helper()
+		res, err := Sweep(context.Background(), params, Config{Workers: workers}, eval)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	serial := core.Sweep(params, func(p core.Point) map[string]float64 {
+		m, _ := eval(p)
+		return m
+	})
+	if !reflect.DeepEqual(base, serial) {
+		t.Fatalf("parallel engine at workers=1 diverges from serial core.Sweep")
+	}
+	for _, w := range []int{4, runtime.NumCPU()} {
+		if got := run(w); !reflect.DeepEqual(got, base) {
+			t.Fatalf("workers=%d result diverges from workers=1", w)
+		}
+	}
+	// Reproducibility: a second identical run must match bit for bit.
+	if got := run(4); !reflect.DeepEqual(got, base) {
+		t.Fatalf("repeated run diverges")
+	}
+}
+
+// TestSweepCancelPrefix cancels after exactly K evaluations at workers=1
+// and requires the first-K prefix back, matching what an uninterrupted run
+// produces for those indices.
+func TestSweepCancelPrefix(t *testing.T) {
+	params := grid()
+	full, err := Sweep(context.Background(), params, Config{Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 7
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	res, err := Sweep(ctx, params, Config{Workers: 1}, func(p core.Point) (map[string]float64, error) {
+		if calls.Add(1) == k {
+			cancel()
+		}
+		return eval(p)
+	})
+	if err == nil {
+		t.Fatal("expected a PartialError from the cancelled sweep")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PartialError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("PartialError does not unwrap to context.Canceled: %v", err)
+	}
+	if pe.Completed != k || pe.Points != len(full) {
+		t.Fatalf("PartialError reports %d/%d, want %d/%d", pe.Completed, pe.Points, k, len(full))
+	}
+	if len(res) != k {
+		t.Fatalf("cancelled sweep returned %d results, want the first-%d prefix", len(res), k)
+	}
+	if !reflect.DeepEqual(res, full[:k]) {
+		t.Fatalf("cancelled prefix diverges from the uninterrupted run's first %d results", k)
+	}
+}
+
+// TestSweepCancelPrefixParallel checks the prefix property under real
+// worker concurrency: whatever prefix comes back must equal the
+// uninterrupted run's prefix of that length.
+func TestSweepCancelPrefixParallel(t *testing.T) {
+	params := grid()
+	full, err := Sweep(context.Background(), params, Config{Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	res, err := Sweep(ctx, params, Config{Workers: 4}, func(p core.Point) (map[string]float64, error) {
+		if calls.Add(1) == 5 {
+			cancel()
+		}
+		return eval(p)
+	})
+	if err == nil {
+		// All in-flight points may have drained the grid; that is legal.
+		res, err = full, nil
+	}
+	var pe *PartialError
+	if err != nil && !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PartialError", err)
+	}
+	if pe != nil && pe.Completed != len(res) {
+		t.Fatalf("PartialError.Completed=%d but %d results returned", pe.Completed, len(res))
+	}
+	if !reflect.DeepEqual(res, full[:len(res)]) {
+		t.Fatalf("parallel cancelled prefix diverges from the uninterrupted run")
+	}
+}
+
+// TestSweepEvaluatorError stops the sweep and surfaces the evaluator's
+// error as the PartialError cause, with a valid prefix result.
+func TestSweepEvaluatorError(t *testing.T) {
+	params := grid()
+	full, err := Sweep(context.Background(), params, Config{Workers: 1}, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("device model rejected point")
+	res, err := Sweep(context.Background(), params, Config{Workers: 1}, func(p core.Point) (map[string]float64, error) {
+		if p["a"] == 2 && p["b"] == 0.5 && p["c"] == 10 {
+			return nil, boom
+		}
+		return eval(p)
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PartialError", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("PartialError does not unwrap to the evaluator error: %v", err)
+	}
+	// Point (2, 0.5, 10) is index 8 in the enumeration, so the prefix is 8.
+	if len(res) != 8 || pe.Completed != 8 {
+		t.Fatalf("got %d results (Completed=%d), want the first-8 prefix", len(res), pe.Completed)
+	}
+	if !reflect.DeepEqual(res, full[:8]) {
+		t.Fatalf("error-stopped prefix diverges from the uninterrupted run")
+	}
+}
+
+// TestSweepAlreadyCancelled returns an empty prefix without evaluating.
+func TestSweepAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	res, err := Sweep(ctx, grid(), Config{Workers: 4}, func(p core.Point) (map[string]float64, error) {
+		calls.Add(1)
+		return eval(p)
+	})
+	if len(res) != 0 {
+		t.Fatalf("got %d results from a dead context, want 0", len(res))
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("evaluator ran %d times under a dead context", calls.Load())
+	}
+}

@@ -1,44 +1,76 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
-	"strconv"
 
 	"hetarch/internal/cell"
 	"hetarch/internal/core"
 	"hetarch/internal/device"
+	"hetarch/internal/dse"
+	dsecache "hetarch/internal/dse/cache"
 )
 
-// DSEDemo runs a design-space exploration over the distillation module's
-// register parameters, demonstrating the simulation-hierarchy payoff: each
-// distinct standard-cell configuration is density-matrix-characterized once
-// and memoized, while the sweep evaluates the module-level metric at every
-// grid point from the cached channel abstractions.
-//
-// It returns the swept results, the Pareto front minimizing (idle error,
-// footprint), and the characterizer statistics.
-func DSEDemo() (results []core.Result, front []core.Result, calls, hits int) {
-	ch := core.NewCharacterizer()
-	// Stats reads the process-wide registry; difference it around the sweep
-	// so the reported numbers are this demo's own.
-	calls0, hits0 := ch.Stats()
-	params := []core.Param{
+// DSEOptions configures the design-space exploration runner.
+type DSEOptions struct {
+	// Workers is the sweep engine's goroutine count (<= 0 means
+	// runtime.NumCPU()). Results are worker-count independent.
+	Workers int
+	// Store backs the characterization cache. nil means a fresh in-memory
+	// store (every run pays characterization once per distinct cell); a
+	// dse/cache.Dir makes characterizations persistent, so warm runs skip
+	// density-matrix simulation entirely.
+	Store core.CharacterizationStore
+}
+
+// DSEResult is a completed design-space exploration: the full swept grid,
+// its Pareto front, and the characterization-cache accounting for the run.
+type DSEResult struct {
+	Results []core.Result
+	Front   []core.Result
+	Calls   int // characterizations requested (one per grid point)
+	Hits    int // requests served from cache or a concurrent in-flight run
+}
+
+// dseParams is the swept grid: register storage lifetime and mode count
+// (which change the cell, so each distinct pair costs one density-matrix
+// characterization) crossed with the idle-window length (an operational
+// parameter that reuses the cached channel).
+func dseParams() []core.Param {
+	return []core.Param{
 		{Name: "tsMillis", Values: []float64{0.5, 1, 2.5, 5, 12.5, 25, 50}},
 		{Name: "modes", Values: []float64{3, 10}},
-		// Sweep an operational parameter too: the idle window length. It
-		// does not change the cell, so the characterization cache is hit.
 		{Name: "idleWindowUs", Values: []float64{1, 5, 10, 50, 100}},
 	}
-	results = core.Sweep(params, func(p core.Point) map[string]float64 {
+}
+
+// DSE runs the design-space exploration over the distillation module's
+// register parameters on the parallel sweep engine, demonstrating the
+// paper's simulation-hierarchy payoff: each distinct standard-cell
+// configuration is density-matrix-characterized once — in this process or
+// any earlier one sharing the same persistent store — and every grid point
+// evaluates the module-level metric from the cached channel abstraction.
+//
+// The swept results and Pareto front are bit-identical for any worker
+// count and for any cache state (cold, warm, in-memory): the cache changes
+// only where characterizations come from, never what they contain.
+func DSE(ctx context.Context, opts DSEOptions) (*DSEResult, error) {
+	store := opts.Store
+	if store == nil {
+		store = core.NewMemStore()
+	}
+	ch := core.NewCharacterizerWithStore(store)
+	// Stats reads the process-wide registry; difference it around the sweep
+	// so the reported numbers are this run's own.
+	calls0, hits0 := ch.Stats()
+	results, err := dse.Sweep(ctx, dseParams(), dse.Config{Workers: opts.Workers}, func(p core.Point) (map[string]float64, error) {
 		ts := p["tsMillis"] * 1000
 		modes := int(p["modes"])
 		reg := cell.NewRegister(device.StandardStorage(ts, modes), device.StandardComputeNoReadout(500), 2)
-		key := "register:ts=" + strconv.FormatFloat(ts, 'g', -1, 64) +
-			":modes=" + strconv.Itoa(modes)
-		char, err := ch.Characterize(key, reg, cell.CharacterizeRegister)
+		char, err := ch.Characterize(dsecache.Key(reg), reg, cell.CharacterizeRegister)
 		if err != nil {
-			panic(err)
+			return nil, err
 		}
 		idle := char.MustOp("idle-1us")
 		load := char.MustOp("load")
@@ -47,28 +79,70 @@ func DSEDemo() (results []core.Result, front []core.Result, calls, hits int) {
 		// plus one load/store round trip.
 		perUs := idle.ErrorRate()
 		window := p["idleWindowUs"]
-		idleErr := 1.0
-		{
-			keep := 1.0
-			for i := 0; i < int(window); i++ {
-				keep *= 1 - perUs
-			}
-			idleErr = 1 - keep
+		keep := 1.0
+		for i := 0; i < int(window); i++ {
+			keep *= 1 - perUs
 		}
-		total := idleErr + 2*load.ErrorRate()
+		total := (1 - keep) + 2*load.ErrorRate()
 		return map[string]float64{
 			"storedError": total,
 			"footprint":   reg.FootprintArea(),
 			"capacity":    float64(reg.QubitCapacity()),
-		}
+		}, nil
 	})
-	front = core.ParetoFront(results, []string{"storedError", "footprint"})
+	if err != nil {
+		return nil, err
+	}
 	calls1, hits1 := ch.Stats()
-	calls, hits = calls1-calls0, hits1-hits0
-	return results, front, calls, hits
+	return &DSEResult{
+		Results: results,
+		Front:   core.ParetoFront(results, []string{"storedError", "footprint"}),
+		Calls:   calls1 - calls0,
+		Hits:    hits1 - hits0,
+	}, nil
 }
 
-// FprintDSE renders the DSE demo summary.
+// Table renders the Pareto front as a standard experiment table, so the
+// CLI's text and JSON emitters both work. Only sweep outputs appear here —
+// cache statistics vary between cold and warm runs and belong on stderr
+// (FprintDSEStats), keeping stdout bit-identical across cache states.
+func (r *DSEResult) Table() *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Design-space exploration: Register cell (%d grid points, %d Pareto-optimal)", len(r.Results), len(r.Front)),
+		Columns: []string{"storedError", "footprint", "capacity"},
+	}
+	for _, res := range r.Front {
+		t.Rows = append(t.Rows, Row{
+			Label: fmt.Sprintf("ts=%gms modes=%g win=%gus", res.Point["tsMillis"], res.Point["modes"], res.Point["idleWindowUs"]),
+			Values: []float64{
+				res.Metrics["storedError"], res.Metrics["footprint"], res.Metrics["capacity"],
+			},
+		})
+	}
+	return t
+}
+
+// FprintDSEStats reports the run's characterization-cache accounting —
+// telemetry, not results, so runners print it to stderr.
+func (r *DSEResult) FprintDSEStats(w io.Writer) {
+	fmt.Fprintf(w, "dse: %d grid points, %d characterizations requested, %d served from cache (%.0f%%)\n",
+		len(r.Results), r.Calls, r.Hits, 100*float64(r.Hits)/float64(r.Calls))
+}
+
+// DSEDemo runs DSE at default settings with an in-memory cache. It is the
+// historical entry point kept for the facade and benchmarks; new callers
+// should use DSE directly.
+func DSEDemo() (results []core.Result, front []core.Result, calls, hits int) {
+	r, err := DSE(context.Background(), DSEOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return r.Results, r.Front, r.Calls, r.Hits
+}
+
+// FprintDSE renders the DSE demo summary (results and cache accounting on
+// one stream; the CLI uses DSEResult.Table and FprintDSEStats instead to
+// keep stdout cache-state independent).
 func FprintDSE(w io.Writer) {
 	results, front, calls, hits := DSEDemo()
 	fmt.Fprintln(w, "== Design-space exploration (Register cell) ==")

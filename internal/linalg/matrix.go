@@ -1,5 +1,6 @@
 // Package linalg provides the dense complex linear algebra kernels that the
-// HetArch density-matrix simulator is built on.
+// HetArch density-matrix simulator (internal/densmat, the detailed tier of
+// the paper's Section-4 simulation hierarchy) is built on.
 //
 // Only the operations the quantum layers need are implemented: construction,
 // multiplication, Kronecker products, adjoints, traces, and a handful of

@@ -1,8 +1,8 @@
 // Package mc is the shared parallel Monte Carlo engine behind every
-// shot-based experiment runner (surface, uec, distill ensembles, code
-// teleportation). It shards a shot budget into fixed-size units of work,
-// processes them on a pool of worker goroutines, and merges the results in
-// shard order.
+// shot-based experiment runner of the paper's evaluation section (surface,
+// uec, distill ensembles, code teleportation — Sections 4 and 6). It shards
+// a shot budget into fixed-size units of work, processes them on a pool of
+// worker goroutines, and merges the results in shard order.
 //
 // The engine's contract is deterministic pooling: each shard draws from an
 // independent RNG stream derived from the experiment seed with a

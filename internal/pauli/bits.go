@@ -1,7 +1,8 @@
 // Package pauli implements Pauli-group algebra and an Aaronson–Gottesman
 // stabilizer tableau simulator (the "CHP" algorithm).
 //
-// This is the exact-simulation half of HetArch's fast tier: Clifford circuits
+// This is the exact-simulation half of HetArch's fast tier (the module-level
+// rung of the paper's Section-4 simulation hierarchy): Clifford circuits
 // over hundreds of qubits run in polynomial time here, and the Monte Carlo
 // Pauli-frame sampler in package stabsim is validated against it.
 package pauli

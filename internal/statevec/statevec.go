@@ -1,5 +1,6 @@
 // Package statevec implements a pure-state (state-vector) simulator. It
-// complements the density-matrix tier: pure states cost 2^n amplitudes
+// complements the density-matrix tier of the paper's Section-4 simulation
+// hierarchy: pure states cost 2^n amplitudes
 // instead of 4^n matrix entries, so noiseless structural verification —
 // CAT-state generation, logical encoding circuits, protocol dry-runs — can
 // reach 20+ qubits where the density-matrix simulator stops near 10.

@@ -1,8 +1,9 @@
 // Package topology models device connectivity graphs and the SWAP-routing
 // cost of executing circuits on them. It provides the homogeneous
-// "sea-of-qubits" square-lattice baseline the paper compares against: a
-// lattice as large as needed, with a greedy placement and shortest-path SWAP
-// router standing in for an optimizing transpiler.
+// "sea-of-qubits" square-lattice baseline the paper's evaluation (Sections
+// 4.2 and 6) compares heterogeneous modules against: a lattice as large as
+// needed, with a greedy placement and shortest-path SWAP router standing in
+// for an optimizing transpiler.
 package topology
 
 import "fmt"
