@@ -1,7 +1,9 @@
 // Command benchbaseline records the repository's performance baseline:
-// wall time and Monte Carlo throughput (shots/sec) of the quick-scale fig9
-// and table3 experiments, written as JSON to BENCH_baseline.json. Future
-// performance PRs rerun it and compare against the committed file to show a
+// wall time, Monte Carlo throughput (shots/sec), and per-shot cost
+// (ns/shot, allocs/shot, bytes/shot from runtime.ReadMemStats deltas) of
+// the quick-scale fig9 and table3 experiments, written as JSON to
+// BENCH_baseline.json. The artifact carries the git revision it was
+// measured at, so a series of them (cmd/benchtrend) reads as a performance
 // trajectory instead of anecdotes.
 //
 // Usage:
@@ -19,34 +21,11 @@ import (
 	"strings"
 	"time"
 
+	"hetarch/internal/bench"
 	"hetarch/internal/experiments"
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 )
-
-// Entry is one measured experiment.
-type Entry struct {
-	Experiment  string  `json:"experiment"`
-	Scale       string  `json:"scale"`
-	Shots       int64   `json:"shots"`
-	WallSeconds float64 `json:"wall_seconds"`
-	ShotsPerSec float64 `json:"shots_per_sec"`
-}
-
-// Baseline is the file format.
-type Baseline struct {
-	RecordedAt string `json:"recorded_at"`
-	GoVersion  string `json:"go_version"`
-	GOOS       string `json:"goos"`
-	GOARCH     string `json:"goarch"`
-	NumCPU     int    `json:"num_cpu"`
-	// Workers is the effective mc worker count the baseline was measured
-	// at. Monte Carlo results are worker-count independent, so this only
-	// contextualizes the throughput numbers (obsdiff annotates comparisons
-	// across differing counts).
-	Workers int     `json:"workers"`
-	Entries []Entry `json:"entries"`
-}
 
 func main() {
 	out := flag.String("o", "BENCH_baseline.json", "output file")
@@ -81,7 +60,7 @@ func main() {
 		}},
 	}
 
-	b := Baseline{
+	b := bench.Baseline{
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -89,24 +68,35 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Workers:    mc.ResolveWorkers(*workers),
 	}
+	b.GitRevision, b.GitDirty = bench.VCSRevision()
 	for _, r := range runners {
 		// Warm shared caches (lookup tables) so the measurement reflects
-		// steady-state throughput, then count shots via the obs registry.
+		// steady-state throughput, then count shots via the obs registry and
+		// allocations via ReadMemStats deltas around the timed run.
 		r.run()
 		before := shots()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		r.run()
 		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
 		n := shots() - before
-		b.Entries = append(b.Entries, Entry{
+		e := bench.Entry{
 			Experiment:  r.name,
 			Scale:       "quick",
 			Shots:       n,
 			WallSeconds: round(wall),
 			ShotsPerSec: round(float64(n) / wall),
-		})
-		fmt.Fprintf(os.Stderr, "%s: %d shots in %.2fs (%.0f shots/sec)\n",
-			r.name, n, wall, float64(n)/wall)
+		}
+		if n > 0 {
+			e.NsPerShot = round(wall * 1e9 / float64(n))
+			e.AllocsPerShot = round(float64(m1.Mallocs-m0.Mallocs) / float64(n))
+			e.BytesPerShot = round(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n))
+		}
+		b.Entries = append(b.Entries, e)
+		fmt.Fprintf(os.Stderr, "%s: %d shots in %.2fs (%.0f shots/sec, %.0f ns/shot, %.2f allocs/shot)\n",
+			r.name, n, wall, e.ShotsPerSec, e.NsPerShot, e.AllocsPerShot)
 	}
 
 	f, err := os.Create(*out)

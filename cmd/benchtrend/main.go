@@ -1,0 +1,155 @@
+// Command benchtrend renders a performance trajectory from a series of
+// bench artifacts (cmd/benchbaseline output: single BENCH_*.json baselines
+// and/or JSONL history files with one baseline per line) and gates the
+// newest one against its predecessor.
+//
+// For every experiment present in the series it prints a trend table —
+// shots/sec, ns/shot, allocs/shot per baseline, labelled by git revision —
+// and then compares the newest baseline against the previous one: a
+// shots/sec drop beyond the tolerance is a regression.
+//
+// Usage:
+//
+//	benchtrend [-tol 0.2] [-report-only] FILE...
+//
+// Files are read oldest-first; the last baseline of the last file is "the
+// newest". Exit codes (the CI contract, shared with cmd/obsdiff):
+//
+//	0  trend printed, no regression (always, under -report-only)
+//	1  newest baseline regressed against its predecessor
+//	2  usage error or unreadable artifact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"hetarch/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	tol := fs.Float64("tol", 0.2, "allowed relative shots/sec drop before flagging")
+	reportOnly := fs.Bool("report-only", false, "print the trend but exit 0 even on regression")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchtrend [flags] FILE...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	if *tol <= 0 || *tol >= 1 {
+		fmt.Fprintf(stderr, "benchtrend: -tol must be in (0, 1), got %g\n", *tol)
+		return 2
+	}
+
+	series, err := bench.LoadSeries(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchtrend:", err)
+		return 2
+	}
+
+	printTrend(stdout, series)
+	regressions := gate(stdout, series, *tol)
+	if *reportOnly || regressions == 0 {
+		return 0
+	}
+	return 1
+}
+
+// experimentsIn returns every experiment name in the series, sorted.
+func experimentsIn(series []bench.Baseline) []string {
+	set := map[string]bool{}
+	for _, b := range series {
+		for _, e := range b.Entries {
+			set[e.Experiment] = true
+		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// printTrend renders one table per experiment, oldest baseline first, with
+// the relative shots/sec change against the preceding row. Metrics absent
+// from older artifacts render as "-".
+func printTrend(w io.Writer, series []bench.Baseline) {
+	for _, name := range experimentsIn(series) {
+		fmt.Fprintf(w, "== %s ==\n", name)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "revision\tshots/sec\tns/shot\tallocs/shot\tdelta")
+		prev := 0.0
+		for _, b := range series {
+			e := b.Entry(name)
+			if e == nil {
+				continue
+			}
+			delta := "-"
+			if prev > 0 && e.ShotsPerSec > 0 {
+				delta = fmt.Sprintf("%+.1f%%", 100*(e.ShotsPerSec/prev-1))
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+				b.Label(), num(e.ShotsPerSec, "%.0f"), num(e.NsPerShot, "%.0f"),
+				num(e.AllocsPerShot, "%.2f"), delta)
+			if e.ShotsPerSec > 0 {
+				prev = e.ShotsPerSec
+			}
+		}
+		tw.Flush()
+	}
+}
+
+// num formats v, rendering the zero value (metric absent) as "-".
+func num(v float64, format string) string {
+	if v == 0 {
+		return "-"
+	}
+	return fmt.Sprintf(format, v)
+}
+
+// gate compares the newest baseline against its predecessor and returns
+// the number of regressions found. A single-baseline series gates nothing
+// (there is no predecessor yet).
+func gate(w io.Writer, series []bench.Baseline, tol float64) int {
+	if len(series) < 2 {
+		fmt.Fprintln(w, "gate: only one baseline, nothing to compare")
+		return 0
+	}
+	old, new := &series[len(series)-2], &series[len(series)-1]
+	fmt.Fprintf(w, "gate: %s -> %s (tolerance %.0f%%)\n", old.Label(), new.Label(), 100*tol)
+	regressions := 0
+	for _, name := range experimentsIn(series) {
+		oe, ne := old.Entry(name), new.Entry(name)
+		if oe == nil || ne == nil || oe.ShotsPerSec == 0 || ne.ShotsPerSec == 0 {
+			continue
+		}
+		if ne.ShotsPerSec < oe.ShotsPerSec*(1-tol) {
+			regressions++
+			fmt.Fprintf(w, "REGRESSION  %-10s shots/sec dropped %.1f%% (%.0f -> %.0f, > %.0f%% tolerance)\n",
+				name, 100*(1-ne.ShotsPerSec/oe.ShotsPerSec), oe.ShotsPerSec, ne.ShotsPerSec, 100*tol)
+		} else {
+			fmt.Fprintf(w, "ok          %-10s shots/sec %+.1f%% (%.0f -> %.0f)\n",
+				name, 100*(ne.ShotsPerSec/oe.ShotsPerSec-1), oe.ShotsPerSec, ne.ShotsPerSec)
+		}
+	}
+	if regressions == 0 {
+		fmt.Fprintln(w, "gate: no regression")
+	}
+	return regressions
+}

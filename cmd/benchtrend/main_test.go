@@ -1,0 +1,157 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetarch/internal/bench"
+)
+
+func writeBaseline(t *testing.T, dir, name string, b bench.Baseline) string {
+	t.Helper()
+	raw, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func baseline(rev string, fig9, table3 float64) bench.Baseline {
+	return bench.Baseline{
+		RecordedAt:  "2026-08-01T00:00:00Z",
+		GitRevision: rev,
+		Workers:     1,
+		Entries: []bench.Entry{
+			{Experiment: "fig9", Scale: "quick", Shots: 1000, WallSeconds: 1,
+				ShotsPerSec: fig9, NsPerShot: 1e9 / fig9, AllocsPerShot: 0.5},
+			{Experiment: "table3", Scale: "quick", Shots: 1000, WallSeconds: 1,
+				ShotsPerSec: table3},
+		},
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                            // no files
+		{"-tol", "0", "a.json"},        // tolerance out of range
+		{"-tol", "1.5", "a.json"},      // tolerance out of range
+		{"-no-such-flag", "a.json"},    // unknown flag
+		{"/does/not/exist/bench.json"}, // unreadable artifact
+	}
+	for _, args := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != 2 {
+			t.Errorf("run(%q) = %d, want 2 (stderr: %s)", args, got, stderr.String())
+		}
+	}
+}
+
+// TestRegressionGate is the CI contract: an injected >= 20% shots/sec drop
+// in the newest baseline must exit 1, a recovery or flat trend exits 0,
+// and -report-only always exits 0 while still printing the finding.
+func TestRegressionGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", baseline("aaaa000000", 1000, 500))
+	slow := writeBaseline(t, dir, "slow.json", baseline("bbbb000000", 790, 500)) // -21% on fig9
+	flat := writeBaseline(t, dir, "flat.json", baseline("cccc000000", 990, 520))
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{old, slow}, &stdout, &stderr); got != 1 {
+		t.Fatalf("regressed series exited %d, want 1\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") || !strings.Contains(stdout.String(), "fig9") {
+		t.Fatalf("regression not reported:\n%s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "ok          table3") {
+		t.Fatalf("unregressed experiment not reported ok:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{old, flat}, &stdout, &stderr); got != 0 {
+		t.Fatalf("flat series exited %d, want 0\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "gate: no regression") {
+		t.Fatalf("clean gate not reported:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{"-report-only", old, slow}, &stdout, &stderr); got != 0 {
+		t.Fatalf("-report-only exited %d, want 0", got)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Fatalf("-report-only suppressed the finding:\n%s", stdout.String())
+	}
+
+	// Only the newest pair gates: an old regression that has since
+	// recovered is history, not a failure.
+	stdout.Reset()
+	if got := run([]string{old, slow, flat}, &stdout, &stderr); got != 0 {
+		t.Fatalf("recovered series exited %d, want 0\n%s", got, stdout.String())
+	}
+}
+
+func TestTrendTable(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBaseline(t, dir, "a.json", baseline("aaaa000000", 1000, 500))
+	b := writeBaseline(t, dir, "b.json", baseline("bbbb000000", 1200, 550))
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{a, b}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit %d: %s", got, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"== fig9 ==", "== table3 ==",
+		"shots/sec", "ns/shot", "allocs/shot",
+		"aaaa000000", "bbbb000000",
+		"+20.0%", // fig9 delta vs the previous row
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trend output missing %q:\n%s", want, out)
+		}
+	}
+	// table3 entries carry no per-shot metrics: rendered as "-", not 0.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "aaaa000000") && strings.Contains(out[strings.Index(out, "== table3 =="):], line) {
+			if !strings.Contains(line, "-") {
+				t.Errorf("absent metric not rendered as -: %q", line)
+			}
+		}
+	}
+}
+
+// TestSingleBaselineGatesNothing: the first CI run has no predecessor and
+// must pass.
+func TestSingleBaselineGatesNothing(t *testing.T) {
+	dir := t.TempDir()
+	only := writeBaseline(t, dir, "only.json", baseline("aaaa000000", 1000, 500))
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{only}, &stdout, &stderr); got != 0 {
+		t.Fatalf("single baseline exited %d, want 0: %s", got, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "nothing to compare") {
+		t.Fatalf("missing single-baseline note:\n%s", stdout.String())
+	}
+}
+
+// TestRealCommittedBaseline: the committed BENCH_baseline.json must load
+// and pass the gate against itself (exit 0) — the report-only CI step
+// depends on it.
+func TestRealCommittedBaseline(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_baseline.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{path, path}, &stdout, &stderr); got != 0 {
+		t.Fatalf("committed baseline vs itself exited %d\n%s%s", got, stdout.String(), stderr.String())
+	}
+}

@@ -6,15 +6,30 @@
 //	hetarch <experiment> [-quick] [-seed N] [-shots N] [-json] [-metrics]
 //	        [-progress] [-listen ADDR] [-record FILE] [-checkpoint FILE]
 //	        [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
+//	        [-trace-out FILE] [-trace-sample N]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
 //
 // -listen serves live telemetry over HTTP while the run is in flight:
 // /metrics (Prometheus text), /progress (JSON, or SSE with ?sse=1), /spans
-// (span tree) and /debug/pprof. -record journals the run to a JSONL flight-
-// recorder artifact (config, seeds, git revision, per-batch counts, final
-// metrics) that cmd/obsdiff can diff against a baseline.
+// (span tree), /trace (flight-profiler download) and /debug/pprof. -record
+// journals the run to a JSONL flight-recorder artifact (config, seeds, git
+// revision, per-batch counts, final metrics) that cmd/obsdiff can diff
+// against a baseline.
+//
+// -trace-out arms the engine flight profiler: Monte Carlo shard phases
+// (queue wait, execution, sample/decode sub-phases, merge) and DSE point
+// evaluations are recorded on per-worker lanes — deterministically sampled
+// 1-in-N by shard/point index (-trace-sample, default 8, 1 = everything) so
+// tracing cannot perturb results — and written as Chrome Trace Event JSON,
+// which opens directly in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. Any telemetry flag (-metrics, -listen, -record,
+// -trace-out) also polls runtime/metrics (heap, GC pauses, goroutines,
+// scheduling latency) into runtime.* gauges.
+//
+// -cpuprofile conflicts with -listen (the live /debug/pprof/profile
+// endpoint would double-start the CPU profile); use one or the other.
 //
 // -checkpoint makes the run resumable: completed Monte Carlo shards are
 // persisted to the given JSONL file, and an interrupted run (SIGINT/SIGTERM)
@@ -54,7 +69,9 @@ import (
 	"hetarch/internal/mc/checkpoint"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/recorder"
+	"hetarch/internal/obs/runtimemetrics"
 	"hetarch/internal/obs/serve"
+	"hetarch/internal/obs/trace"
 )
 
 // Exit codes. Interrupted is distinct so scripts (and CI) can tell "killed
@@ -81,12 +98,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	asJSON := fs.Bool("json", false, "emit table experiments as JSON (for plotting scripts)")
 	metrics := fs.Bool("metrics", false, "print telemetry (counter snapshot + span tree) to stderr after the run")
 	progress := fs.Bool("progress", false, "heartbeat on stderr with shots/sec and ETA")
-	listen := fs.String("listen", "", "serve live telemetry over HTTP on `addr` (/metrics, /progress, /spans, /debug/pprof)")
+	listen := fs.String("listen", "", "serve live telemetry over HTTP on `addr` (/metrics, /progress, /spans, /trace, /debug/pprof)")
 	record := fs.String("record", "", "journal the run to a JSONL flight-recorder artifact at `file`")
 	ckptPath := fs.String("checkpoint", "", "persist completed Monte Carlo shards to `file`; rerunning with the same flags resumes")
 	cacheDir := fs.String("cache-dir", "", "persist standard-cell characterizations to `dir`; warm runs of dse/cells skip density-matrix simulation")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to `file`")
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
+	traceOut := fs.String("trace-out", "", "write a flight-profiler trace (Chrome Trace Event JSON, opens in Perfetto) to `file`")
+	traceSample := fs.Int("trace-sample", trace.DefaultSampleN, "trace every `N`th shard/point by index (1 = all; deterministic, never affects results)")
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "hetarch: missing experiment name")
 		usage(fs, stderr)
@@ -104,10 +123,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Flag validation: misconfiguration is a usage error (exit 2), reported
 	// before any work starts.
-	shotsSet := false
+	shotsSet, traceSampleSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "shots" {
+		switch f.Name {
+		case "shots":
 			shotsSet = true
+		case "trace-sample":
+			traceSampleSet = true
 		}
 	})
 	if shotsSet && *shots <= 0 {
@@ -117,6 +139,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers < 0 {
 		fmt.Fprintf(stderr, "hetarch: -workers must be >= 0, got %d\n", *workers)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if *traceSample < 1 {
+		fmt.Fprintf(stderr, "hetarch: -trace-sample must be >= 1, got %d\n", *traceSample)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if traceSampleSet && *traceOut == "" && *listen == "" {
+		fmt.Fprintln(stderr, "hetarch: -trace-sample has no effect without -trace-out or -listen")
+		usage(fs, stderr)
+		return exitUsage
+	}
+	// Profiling flags must compose without double-starting a profile: the
+	// -listen server exposes /debug/pprof/profile, which calls
+	// pprof.StartCPUProfile and would fail (or be failed by) a -cpuprofile
+	// already running for the whole process. Heap profiles are snapshots,
+	// so -memprofile composes fine.
+	if *cpuprofile != "" && *listen != "" {
+		fmt.Fprintln(stderr, "hetarch: -cpuprofile and -listen are mutually exclusive: the live /debug/pprof/profile endpoint would double-start the CPU profile; drop one of the two (with -listen, fetch /debug/pprof/profile instead)")
 		usage(fs, stderr)
 		return exitUsage
 	}
@@ -160,6 +202,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *metrics || *listen != "" {
 		obs.DefaultTracer.SetEnabled(true)
 	}
+	// The flight profiler records into a fresh buffer per run. -listen arms
+	// it too, so the /trace endpoint serves live data; sampling is by
+	// shard/point index, so an armed profiler never changes results.
+	if *traceOut != "" || *listen != "" {
+		trace.Default.Enable(trace.DefaultCapacity, *traceSample)
+		defer trace.Default.Disable()
+	}
+	// Runtime telemetry (heap, GC pauses, goroutines, sched latency) rides
+	// along with every telemetry surface, so /metrics scrapes and the
+	// recorder's final snapshot can separate kernel cost from GC/alloc
+	// behavior.
+	var rtPoller *runtimemetrics.Poller
+	if *metrics || *listen != "" || *record != "" || *traceOut != "" {
+		rtPoller = runtimemetrics.Start(obs.Default, time.Second)
+		defer rtPoller.Stop()
+	}
 	// The heartbeat also feeds /progress, so a listen-only run keeps it
 	// ticking silently. Stop is idempotent: the deferred call guards every
 	// early error return, the explicit one below sequences the final summary
@@ -179,6 +237,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Registry:  obs.Default,
 			Tracer:    obs.DefaultTracer,
 			Heartbeat: hb,
+			Trace:     trace.Default,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "hetarch: listen:", err)
@@ -191,7 +250,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer cancel()
 			srv.Shutdown(sctx)
 		}()
-		fmt.Fprintf(stderr, "telemetry: http://%s/ (metrics, progress, spans, debug/pprof)\n", srv.Addr())
+		fmt.Fprintf(stderr, "telemetry: http://%s/ (metrics, progress, spans, trace, debug/pprof)\n", srv.Addr())
 	}
 
 	if *ckptPath != "" {
@@ -307,6 +366,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else {
 		runErr = runOne(name)
 	}
+	if rtPoller != nil {
+		// Final runtime sample before any snapshot is taken, so the
+		// recorder's final record carries end-of-run allocation state.
+		rtPoller.Stop()
+	}
 	if rec != nil {
 		final := recorder.Final{
 			WallSeconds: time.Since(runStart).Seconds(),
@@ -321,6 +385,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if hb != nil {
 		hb.Stop() // final summary line, before any telemetry output
+	}
+	// The trace is written even for failed or interrupted runs — profiling
+	// a run that went wrong is the point of a flight recorder.
+	if *traceOut != "" {
+		if err := writeTraceFile(*traceOut); err != nil {
+			fmt.Fprintln(stderr, "hetarch: trace-out:", err)
+			if runErr == nil {
+				return exitError
+			}
+		} else {
+			fmt.Fprintf(stderr, "trace: %d events -> %s (open in Perfetto: https://ui.perfetto.dev)\n",
+				trace.Default.Len(), *traceOut)
+			if d := trace.Default.Dropped(); d > 0 {
+				fmt.Fprintf(stderr, "trace: %d events dropped (buffer full; raise -trace-sample)\n", d)
+			}
+		}
 	}
 	if runErr != nil {
 		if interrupted(ctx, runErr) {
@@ -449,6 +529,20 @@ func tableJSON(w io.Writer) func(func() (*experiments.Table, error)) func() erro
 			return enc.Encode(t)
 		}
 	}
+}
+
+// writeTraceFile dumps the flight profiler's buffer as Chrome Trace Event
+// JSON.
+func writeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := trace.Default.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 func usage(fs *flag.FlagSet, w io.Writer) {

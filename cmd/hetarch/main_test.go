@@ -2,7 +2,10 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
@@ -29,6 +32,9 @@ func TestRunFlagValidation(t *testing.T) {
 		{"negative shots", []string{"fig9", "-shots", "-100"}, exitUsage, "-shots must be positive"},
 		{"negative workers", []string{"fig9", "-workers", "-1"}, exitUsage, "-workers must be >= 0"},
 		{"unknown flag", []string{"fig9", "-no-such-flag"}, exitUsage, "flag provided but not defined"},
+		{"zero trace sample", []string{"fig9", "-trace-out", "t.json", "-trace-sample", "0"}, exitUsage, "-trace-sample must be >= 1"},
+		{"trace sample without sink", []string{"fig9", "-trace-sample", "4"}, exitUsage, "no effect without -trace-out or -listen"},
+		{"cpuprofile with listen", []string{"fig9", "-cpuprofile", "cpu.out", "-listen", "127.0.0.1:0"}, exitUsage, "would double-start the CPU profile"},
 		{"ok no-MC experiment", []string{"devices"}, exitOK, ""},
 	}
 	for _, tc := range cases {
@@ -92,6 +98,144 @@ func TestChaosCLIInterruptResumeBitIdentical(t *testing.T) {
 	if out2.String() != want.String() {
 		t.Fatalf("resumed output differs from uninterrupted run:\n-- resumed --\n%s\n-- reference --\n%s",
 			out2.String(), want.String())
+	}
+}
+
+// chromeFile mirrors the Chrome Trace Event JSON object format for
+// schema-checking -trace-out artifacts.
+type chromeFile struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+}
+
+// loadChromeTrace parses and schema-checks a -trace-out file: every event
+// needs a name, a known phase, and a pid; complete events need ts and dur.
+// It returns the per-category event counts and the set of tids (lanes) seen
+// per category.
+func loadChromeTrace(t *testing.T, path string) (cats map[string]int, lanes map[string]map[int]bool) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	var tr chromeFile
+	if err := json.Unmarshal(b, &tr); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", tr.DisplayTimeUnit)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	cats = map[string]int{}
+	lanes = map[string]map[int]bool{}
+	sawThreadName := false
+	for _, ev := range tr.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			t.Fatalf("event missing name: %v", ev)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			if name == "thread_name" {
+				sawThreadName = true
+			}
+			continue
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("complete event %q missing ts", name)
+			}
+			if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+				t.Fatalf("complete event %q missing non-negative dur", name)
+			}
+		case "i":
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Fatalf("instant event %q missing thread scope", name)
+			}
+		default:
+			t.Fatalf("event %q has unknown phase %q", name, ph)
+		}
+		if _, ok := ev["pid"].(float64); !ok {
+			t.Fatalf("event %q missing pid", name)
+		}
+		tid, ok := ev["tid"].(float64)
+		if !ok {
+			t.Fatalf("event %q missing tid", name)
+		}
+		cat, _ := ev["cat"].(string)
+		cats[cat]++
+		if lanes[cat] == nil {
+			lanes[cat] = map[int]bool{}
+		}
+		lanes[cat][int(tid)] = true
+	}
+	if !sawThreadName {
+		t.Fatal("trace has no thread_name metadata (worker lanes unnamed)")
+	}
+	return cats, lanes
+}
+
+// TestTraceOutEndToEnd is the flight-profiler acceptance test: -trace-out
+// must emit valid Chrome Trace Event JSON carrying mc shard-phase events
+// (fig9), sample/decode sub-phases (fig6, surface runner), and dse point
+// events on worker lanes — while stdout stays bit-identical to an untraced
+// run at any -workers setting.
+func TestTraceOutEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	runOK := func(args ...string) string {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != exitOK {
+			t.Fatalf("run(%q) exited %d: %s", args, code, stderr.String())
+		}
+		return stdout.String()
+	}
+
+	base := runOK("fig9", "-quick", "-shots", "512", "-seed", "7", "-workers", "1")
+	for _, workers := range []string{"1", "4"} {
+		path := filepath.Join(dir, "fig9-w"+workers+".json")
+		out := runOK("fig9", "-quick", "-shots", "512", "-seed", "7",
+			"-workers", workers, "-trace-out", path, "-trace-sample", "2")
+		if out != base {
+			t.Fatalf("-workers %s traced stdout diverges from untraced:\n%s\nvs\n%s", workers, out, base)
+		}
+		cats, lanes := loadChromeTrace(t, path)
+		for _, want := range []string{"mc.shard", "mc.merge"} {
+			if cats[want] == 0 {
+				t.Fatalf("-workers %s trace has no %s events (cats: %v)", workers, want, cats)
+			}
+		}
+		maxWorkers, _ := strconv.Atoi(workers)
+		for lane := range lanes["mc.shard"] {
+			if lane < 0 || lane >= maxWorkers {
+				t.Fatalf("mc.shard event on lane %d, want [0,%s)", lane, workers)
+			}
+		}
+	}
+
+	// The surface runner adds per-batch sample/decode sub-phases.
+	fig6 := filepath.Join(dir, "fig6.json")
+	runOK("fig6", "-quick", "-shots", "256", "-seed", "7", "-trace-out", fig6, "-trace-sample", "1")
+	cats, _ := loadChromeTrace(t, fig6)
+	for _, want := range []string{"mc.shard", "mc.sample", "mc.decode"} {
+		if cats[want] == 0 {
+			t.Fatalf("fig6 trace has no %s events (cats: %v)", want, cats)
+		}
+	}
+
+	// DSE point evaluations land on their own process, and the persistent
+	// cache marks its hits/misses as instant events.
+	dsePath := filepath.Join(dir, "dse.json")
+	runOK("dse", "-quick", "-workers", "2", "-cache-dir", filepath.Join(dir, "cache"),
+		"-trace-out", dsePath, "-trace-sample", "1")
+	cats, _ = loadChromeTrace(t, dsePath)
+	if cats["dse.point"] == 0 {
+		t.Fatalf("dse trace has no dse.point events (cats: %v)", cats)
+	}
+	if cats["dse.cache"] == 0 {
+		t.Fatalf("dse trace has no dse.cache events (cats: %v)", cats)
 	}
 }
 

@@ -1,0 +1,146 @@
+// Package bench defines the benchmark-artifact format shared by
+// cmd/benchbaseline (producer), cmd/benchtrend (trend table + regression
+// gate), and internal/obs/diff (pairwise comparison). A bench artifact is
+// either a single JSON Baseline object (the committed BENCH_baseline.json)
+// or a JSONL history file with one Baseline per line (CI appends one line
+// per run), and Load accepts both.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime/debug"
+)
+
+// Entry is one measured experiment within a baseline.
+type Entry struct {
+	Experiment  string  `json:"experiment"`
+	Scale       string  `json:"scale"`
+	Shots       int64   `json:"shots"`
+	WallSeconds float64 `json:"wall_seconds"`
+	ShotsPerSec float64 `json:"shots_per_sec"`
+
+	// Per-shot cost metrics, measured via runtime.ReadMemStats deltas
+	// around the timed run. Zero in artifacts that predate them (or for
+	// characterization-shaped experiments with no shot counter): trend
+	// tables render them as "-" and the gate skips them.
+	NsPerShot     float64 `json:"ns_per_shot,omitempty"`
+	AllocsPerShot float64 `json:"allocs_per_shot,omitempty"`
+	BytesPerShot  float64 `json:"bytes_per_shot,omitempty"`
+}
+
+// Baseline is one benchmark run: host facts plus per-experiment entries.
+type Baseline struct {
+	RecordedAt  string `json:"recorded_at"`
+	GoVersion   string `json:"go_version"`
+	GitRevision string `json:"git_revision,omitempty"`
+	GitDirty    bool   `json:"git_dirty,omitempty"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	NumCPU      int    `json:"num_cpu"`
+	// Workers is the effective mc worker count the baseline was measured
+	// at. Monte Carlo results are worker-count independent, so this only
+	// contextualizes the throughput numbers.
+	Workers int     `json:"workers"`
+	Entries []Entry `json:"entries"`
+}
+
+// Entry returns the named experiment's entry, or nil.
+func (b *Baseline) Entry(experiment string) *Entry {
+	for i := range b.Entries {
+		if b.Entries[i].Experiment == experiment {
+			return &b.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Label identifies a baseline in trend tables: the short git revision
+// (with a + suffix when the tree was dirty), falling back to the recording
+// timestamp for artifacts that predate revision stamping.
+func (b *Baseline) Label() string {
+	if b.GitRevision != "" {
+		rev := b.GitRevision
+		if len(rev) > 10 {
+			rev = rev[:10]
+		}
+		if b.GitDirty {
+			rev += "+"
+		}
+		return rev
+	}
+	if b.RecordedAt != "" {
+		return b.RecordedAt
+	}
+	return "(unknown)"
+}
+
+// VCSRevision reports the git revision baked into the binary by the go
+// tool (empty for non-VCS builds, e.g. plain `go test`).
+func VCSRevision() (rev string, dirty bool) {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "", false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return rev, dirty
+}
+
+// Load reads one artifact file, accepting both shapes: a single JSON
+// Baseline object (indented or not) and a JSONL history with one Baseline
+// per line. Baselines are returned in file order (oldest first, the way CI
+// appends them).
+func Load(path string) ([]Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f, path)
+}
+
+// Read parses an artifact from r (path is used in errors only).
+func Read(r io.Reader, path string) ([]Baseline, error) {
+	dec := json.NewDecoder(r)
+	var out []Baseline
+	for {
+		var b Baseline
+		if err := dec.Decode(&b); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: not a bench artifact: %w", path, err)
+		}
+		if len(b.Entries) == 0 {
+			return nil, fmt.Errorf("%s: baseline %d has no entries", path, len(out))
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: empty bench artifact", path)
+	}
+	return out, nil
+}
+
+// LoadSeries flattens Load over paths in argument order: pass history
+// files and/or single baselines oldest-first and the newest baseline ends
+// up last.
+func LoadSeries(paths ...string) ([]Baseline, error) {
+	var out []Baseline
+	for _, p := range paths {
+		bs, err := Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, bs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const single = `{
+  "recorded_at": "2026-08-01T00:00:00Z",
+  "git_revision": "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+  "workers": 1,
+  "entries": [
+    {"experiment": "fig9", "scale": "quick", "shots": 1000, "wall_seconds": 1, "shots_per_sec": 1000}
+  ]
+}`
+
+func TestLoadSingleObject(t *testing.T) {
+	bs, err := Load(write(t, "b.json", single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 1 || len(bs[0].Entries) != 1 {
+		t.Fatalf("loaded %+v", bs)
+	}
+	if got := bs[0].Label(); got != "aaaaaaaaaa" {
+		t.Fatalf("Label() = %q, want short revision", got)
+	}
+	if e := bs[0].Entry("fig9"); e == nil || e.ShotsPerSec != 1000 {
+		t.Fatalf("Entry(fig9) = %+v", e)
+	}
+	if e := bs[0].Entry("nope"); e != nil {
+		t.Fatalf("Entry(nope) = %+v, want nil", e)
+	}
+}
+
+func TestLoadJSONLHistory(t *testing.T) {
+	jsonl := `{"recorded_at":"2026-08-01T00:00:00Z","entries":[{"experiment":"fig9","shots_per_sec":1000}]}
+{"recorded_at":"2026-08-02T00:00:00Z","entries":[{"experiment":"fig9","shots_per_sec":1100}]}
+`
+	bs, err := Load(write(t, "hist.jsonl", jsonl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("loaded %d baselines, want 2", len(bs))
+	}
+	// Oldest first: file order is the series order.
+	if bs[0].Entries[0].ShotsPerSec != 1000 || bs[1].Entries[0].ShotsPerSec != 1100 {
+		t.Fatalf("series out of order: %+v", bs)
+	}
+	// No revision stamped: the label falls back to the timestamp.
+	if got := bs[0].Label(); got != "2026-08-01T00:00:00Z" {
+		t.Fatalf("Label() = %q", got)
+	}
+}
+
+// TestLoadConcatenatedObjects: CI appends indented baselines to the history
+// file with plain >>, so back-to-back pretty-printed objects must parse.
+func TestLoadConcatenatedObjects(t *testing.T) {
+	bs, err := Load(write(t, "hist.json", single+"\n"+single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 {
+		t.Fatalf("loaded %d baselines, want 2", len(bs))
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	for name, content := range map[string]string{
+		"not json":   "hello\n",
+		"empty file": "",
+		"no entries": `{"recorded_at":"2026-08-01T00:00:00Z"}`,
+	} {
+		if _, err := Load(write(t, "bad.json", content)); err == nil {
+			t.Errorf("%s: Load succeeded, want error", name)
+		}
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file: Load succeeded, want error")
+	}
+}
+
+func TestLoadSeriesFlattensInOrder(t *testing.T) {
+	older := write(t, "old.json", single)
+	newer := write(t, "new.json", strings.Replace(single, `"shots_per_sec": 1000`, `"shots_per_sec": 2000`, 1))
+	bs, err := LoadSeries(older, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[1].Entries[0].ShotsPerSec != 2000 {
+		t.Fatalf("series %+v", bs)
+	}
+	if _, err := LoadSeries(older, filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadSeries with a missing file succeeded")
+	}
+}
+
+func TestDirtyLabel(t *testing.T) {
+	b := Baseline{GitRevision: "bbbbbbbbbbbb", GitDirty: true}
+	if got := b.Label(); got != "bbbbbbbbbb+" {
+		t.Fatalf("Label() = %q, want dirty marker", got)
+	}
+	if got := (&Baseline{}).Label(); got != "(unknown)" {
+		t.Fatalf("Label() = %q", got)
+	}
+}

@@ -27,7 +27,20 @@ import (
 
 	"hetarch/internal/cell"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/trace"
 )
+
+// traceMark drops an instant event on the dse.cache track when the flight
+// profiler is armed, so cache traffic is visible inline with the point
+// evaluations it serves.
+func traceMark(name string) {
+	if trace.Enabled() {
+		trace.Emit(trace.Event{
+			Name: name, Cat: "dse.cache", Proc: "dse.cache",
+			Phase: trace.PhaseInstant, TS: trace.Now(), Index: -1,
+		})
+	}
+}
 
 // Store telemetry, visible in the -metrics snapshot: hits are Loads served
 // from disk, misses are Loads that found no entry, writes are Stores that
@@ -96,6 +109,7 @@ func (d *Dir) Load(key string) (*cell.Characterization, bool, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
 		cacheMisses.Inc()
+		traceMark("cache miss")
 		return nil, false, nil
 	}
 	if err != nil {
@@ -118,6 +132,7 @@ func (d *Dir) Load(key string) (*cell.Characterization, bool, error) {
 		return nil, false, fmt.Errorf("dse/cache: %s has no characterization payload; delete it to re-characterize", path)
 	}
 	cacheHits.Inc()
+	traceMark("cache hit")
 	return e.Characterization, true, nil
 }
 
@@ -152,6 +167,7 @@ func (d *Dir) Store(key string, c *cell.Characterization) error {
 		return fmt.Errorf("dse/cache: write %s: %w", path, werr)
 	}
 	cacheWrites.Inc()
+	traceMark("cache write")
 	return nil
 }
 

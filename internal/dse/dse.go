@@ -24,10 +24,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetarch/internal/core"
 	"hetarch/internal/mc"
+	"hetarch/internal/obs"
+	"hetarch/internal/obs/trace"
 )
+
+// pointWall is the per-point evaluation wall time. With a warm
+// characterization cache it collapses toward microseconds; the cold-cache
+// tail is the density-matrix simulations — comparing the two is how a
+// sweep's cost is attributed.
+var pointWall = obs.H("dse.point_wall_ns")
 
 // Config holds the engine knobs. The zero value is valid: Workers <= 0
 // resolves to runtime.NumCPU via mc.ResolveWorkers.
@@ -113,15 +122,33 @@ func Sweep(ctx context.Context, params []core.Param, cfg Config, fn func(core.Po
 	defer stop()
 	var firstErr atomic.Pointer[error]
 
-	// process evaluates one point, returning false when the sweep must wind
-	// down because the evaluator failed.
-	process := func(i int) bool {
+	// process evaluates one point on worker lane `lane`, returning false
+	// when the sweep must wind down because the evaluator failed. Each
+	// evaluation feeds the dse.point_wall_ns histogram; sampled points
+	// (deterministic 1-in-N by grid index) additionally emit a trace event
+	// on the worker's lane, so a Perfetto view of a sweep shows which
+	// points were cache-served and which paid for simulation.
+	process := func(lane, i int) bool {
+		start := time.Now()
+		traced := trace.Sampled(i)
+		var ts0 int64
+		if traced {
+			ts0 = trace.Now()
+		}
 		m, err := fn(points[i])
+		pointWall.Observe(time.Since(start).Nanoseconds())
 		if err != nil {
 			err = fmt.Errorf("dse: point %d: %w", i, err)
 			firstErr.CompareAndSwap(nil, &err)
 			stop()
 			return false
+		}
+		if traced {
+			trace.Emit(trace.Event{
+				Name: fmt.Sprintf("point %d", i), Cat: "dse.point",
+				Proc: "dse", Lane: lane, Phase: trace.PhaseComplete,
+				TS: ts0, Dur: trace.Now() - ts0, Index: int64(i),
+			})
 		}
 		out[i] = core.Result{Point: points[i], Metrics: m}
 		done[i] = true
@@ -137,7 +164,7 @@ func Sweep(ctx context.Context, params []core.Param, cfg Config, fn func(core.Po
 			if runCtx.Err() != nil {
 				break
 			}
-			if !process(i) {
+			if !process(0, i) {
 				break
 			}
 		}
@@ -146,18 +173,18 @@ func Sweep(ctx context.Context, params []core.Param, cfg Config, fn func(core.Po
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(lane int) {
 				defer wg.Done()
 				for runCtx.Err() == nil {
 					i := int(next.Add(1)) - 1
 					if i >= len(points) {
 						return
 					}
-					if !process(i) {
+					if !process(lane, i) {
 						return
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}

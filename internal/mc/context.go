@@ -17,17 +17,27 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/trace"
 )
 
 // Engine telemetry: faults count recovered worker panics (one per failed
 // attempt), retries the re-executions they trigger, hits the shards a
-// checkpoint satisfied without execution.
+// checkpoint satisfied without execution. The histograms break a run's
+// wall time down per shard — shard_wall_ns is time spent executing,
+// shard_queue_wait_ns the time a shard sat dispatched-but-unclaimed —
+// and worker_utilization is the fraction of the pool's wall-clock budget
+// (run wall x workers) spent executing shards: the gap between it and
+// 1.0 is queueing, merge, and scheduler overhead.
 var (
 	shardFaults    = obs.C("mc.shard_faults")
 	shardRetries   = obs.C("mc.shard_retries")
 	checkpointHits = obs.C("mc.checkpoint_hits")
+	shardWall      = obs.H("mc.shard_wall_ns")
+	shardWait      = obs.H("mc.shard_queue_wait_ns")
+	workerUtil     = obs.G("mc.worker_utilization")
 )
 
 // DefaultShardRetries is the number of same-stream re-executions a
@@ -190,11 +200,29 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 	defer stop()
 	var firstFault atomic.Pointer[ShardFault]
 
-	// process runs one shard to completion (with retries), returning false
-	// when the shard faulted out and the run must wind down. It owns the
-	// worker pointer so a retry can swap in a fresh worker for itself and
-	// for the shards that goroutine processes afterwards.
-	process := func(run *func(Shard) T, sh Shard) bool {
+	// Flight telemetry: every shard feeds the wall/queue-wait histograms
+	// and the busy-time accumulator behind mc.worker_utilization; sampled
+	// shards additionally emit a trace event on their worker's lane. None
+	// of it touches the shard's RNG stream, so results stay bit-identical
+	// with tracing on or off.
+	dispatchStart := time.Now()
+	var busyNs atomic.Int64
+
+	// process runs one shard to completion (with retries) on worker lane
+	// `lane`, returning false when the shard faulted out and the run must
+	// wind down. It owns the worker pointer so a retry can swap in a fresh
+	// worker for itself and for the shards that goroutine processes
+	// afterwards.
+	process := func(lane int, run *func(Shard) T, sh Shard) bool {
+		pickup := time.Now()
+		wait := pickup.Sub(dispatchStart).Nanoseconds()
+		shardWait.Observe(wait)
+		sh.Lane = lane
+		traced := trace.Sampled(sh.Index)
+		var ts0 int64
+		if traced {
+			ts0 = trace.Now()
+		}
 		var last *ShardFault
 		for attempt := 1; attempt <= 1+retries; attempt++ {
 			if attempt > 1 {
@@ -205,6 +233,17 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 			if fault == nil {
 				out[sh.Index] = v
 				done[sh.Index] = true
+				wall := time.Since(pickup).Nanoseconds()
+				shardWall.Observe(wall)
+				busyNs.Add(wall)
+				if traced {
+					trace.Emit(trace.Event{
+						Name: fmt.Sprintf("shard %d", sh.Index), Cat: "mc.shard",
+						Proc: "mc", Lane: lane, Phase: trace.PhaseComplete,
+						TS: ts0, Dur: trace.Now() - ts0, Index: int64(sh.Index),
+						Attrs: map[string]int64{"queue_wait_ns": wait, "shots": int64(sh.Shots), "attempts": int64(attempt)},
+					})
+				}
 				if fi != nil {
 					fi.ShardDone(sh)
 				}
@@ -228,7 +267,7 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 			if runCtx.Err() != nil {
 				break
 			}
-			if !process(&run, shards[i]) {
+			if !process(0, &run, shards[i]) {
 				break
 			}
 		}
@@ -237,7 +276,7 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(lane int) {
 				defer wg.Done()
 				run := newWorker()
 				for runCtx.Err() == nil {
@@ -245,13 +284,16 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 					if i >= len(shards) {
 						return
 					}
-					if !process(&run, shards[i]) {
+					if !process(lane, &run, shards[i]) {
 						return
 					}
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
+	}
+	if wallNs := time.Since(dispatchStart).Nanoseconds(); wallNs > 0 {
+		workerUtil.Set(float64(busyNs.Load()) / (float64(wallNs) * float64(workers)))
 	}
 
 	completed := make([]int, 0, len(shards))
@@ -274,6 +316,23 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 		cause = context.Canceled // unreachable: incomplete runs have a fault or a dead context
 	}
 	return out, &PartialError{Cause: cause, Completed: completed, Shards: len(shards), ShotsDone: shotsDone}
+}
+
+// mergeTraced wraps the shard-order tally fold in a trace span (lane 0 of
+// the mc track) when the flight profiler is armed, so the merge phase is
+// visible next to the shard executions it follows.
+func mergeTraced(shards int, fold func()) {
+	if !trace.Enabled() {
+		fold()
+		return
+	}
+	ts0 := trace.Now()
+	fold()
+	trace.Emit(trace.Event{
+		Name: "merge", Cat: "mc.merge", Proc: "mc", Lane: 0, Phase: trace.PhaseComplete,
+		TS: ts0, Dur: trace.Now() - ts0, Index: -1,
+		Attrs: map[string]int64{"shards": int64(shards)},
+	})
 }
 
 // RunContext is Run with cooperative cancellation, panic isolation, and
@@ -302,6 +361,13 @@ func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (
 			return func(sh Shard) Tally {
 				if t, ok := cp.Lookup(key, sh); ok {
 					checkpointHits.Inc()
+					if trace.Sampled(sh.Index) {
+						trace.Emit(trace.Event{
+							Name: "checkpoint hit", Cat: "mc.checkpoint", Proc: "mc",
+							Lane: sh.Lane, Phase: trace.PhaseInstant, TS: trace.Now(),
+							Index: int64(sh.Index),
+						})
+					}
 					return t
 				}
 				t := run(sh)
@@ -318,9 +384,11 @@ func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (
 	out, err := MapShardsContext(runCtx, cfg, build)
 	var total Tally
 	if err == nil {
-		for _, t := range out {
-			total.Add(t)
-		}
+		mergeTraced(len(out), func() {
+			for _, t := range out {
+				total.Add(t)
+			}
+		})
 		if rp := recordErr.Load(); rp != nil {
 			// Every shard ran, but the last records may not be durable.
 			return total, *rp
@@ -328,9 +396,11 @@ func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (
 		return total, nil
 	}
 	pe := err.(*PartialError)
-	for _, i := range pe.Completed {
-		total.Add(out[i])
-	}
+	mergeTraced(len(pe.Completed), func() {
+		for _, i := range pe.Completed {
+			total.Add(out[i])
+		}
+	})
 	if rp := recordErr.Load(); rp != nil {
 		// The internal cancel fired because recording failed; surface the
 		// I/O error as the cause rather than the synthetic context error.

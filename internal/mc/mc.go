@@ -79,6 +79,13 @@ type Shard struct {
 	Index int
 	Shots int
 	Seed  int64
+
+	// Lane is the index of the worker goroutine executing the shard,
+	// stamped by the engine at dispatch. It is purely observational — the
+	// flight profiler uses it to place trace events on per-worker tracks —
+	// and never affects results (the decomposition above it carries no
+	// Lane).
+	Lane int
 }
 
 // RNG returns a fresh deterministic generator for the shard's stream.

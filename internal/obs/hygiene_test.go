@@ -1,0 +1,70 @@
+package obs_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"hetarch/internal/obs"
+	"hetarch/internal/obs/runtimemetrics"
+
+	// Register every package-level metric in the production codebase onto
+	// obs.Default: experiments transitively imports every instrumented
+	// subsystem (mc, dse, surface, uec, decoder, sched, stabsim, core).
+	_ "hetarch/internal/experiments"
+)
+
+// metricName is the registry's naming convention: a lowercase package
+// prefix, then one or more dot-separated snake_case segments
+// ("mc.shard_wall_ns", "core.characterize.calls", "runtime.gc_pause_p99_ns").
+var metricName = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z][a-z0-9]*(_[a-z0-9]+)*)+$`)
+
+// TestMetricNameHygiene sweeps every metric registered on the default
+// registry — the set a /metrics scrape or -metrics snapshot exposes — and
+// enforces the pkg.snake_case convention, no duplicate registration across
+// metric kinds, and no two names colliding after Prometheus sanitization.
+func TestMetricNameHygiene(t *testing.T) {
+	runtimemetrics.Sample(obs.Default) // runtime.* gauges register on first sample
+	snap := obs.Default.Snapshot()
+
+	kinds := map[string][]string{}
+	record := func(kind string, names map[string]struct{}) {
+		for name := range names {
+			kinds[name] = append(kinds[name], kind)
+		}
+	}
+	counters, gauges, hists := map[string]struct{}{}, map[string]struct{}{}, map[string]struct{}{}
+	for name := range snap.Counters {
+		counters[name] = struct{}{}
+	}
+	for name := range snap.Gauges {
+		gauges[name] = struct{}{}
+	}
+	for name := range snap.Histograms {
+		hists[name] = struct{}{}
+	}
+	record("counter", counters)
+	record("gauge", gauges)
+	record("histogram", hists)
+
+	if len(kinds) < 15 {
+		t.Fatalf("only %d metrics registered — the experiments import no longer pulls in the instrumented packages", len(kinds))
+	}
+
+	prom := map[string]string{}
+	for name, kk := range kinds {
+		if !metricName.MatchString(name) {
+			t.Errorf("metric %q violates the pkg.snake_case convention", name)
+		}
+		if len(kk) > 1 {
+			t.Errorf("metric %q registered as multiple kinds: %v", name, kk)
+		}
+		// Prometheus exposition flattens dots to underscores; two distinct
+		// registry names must not collapse onto one exposition name.
+		flat := strings.ReplaceAll(name, ".", "_")
+		if other, dup := prom[flat]; dup {
+			t.Errorf("metrics %q and %q collide as %q in Prometheus exposition", name, other, flat)
+		}
+		prom[flat] = name
+	}
+}

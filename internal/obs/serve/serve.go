@@ -8,6 +8,8 @@
 //	                Accept: text/event-stream header, a Server-Sent-Events
 //	                stream of heartbeat ticks
 //	/spans          the live span tree as JSON
+//	/trace          the flight profiler's events so far as Chrome Trace
+//	                Event JSON — save and open in Perfetto/chrome://tracing
 //	/debug/pprof/*  the standard net/http/pprof handlers
 //	/               plain-text index of the above
 //
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/trace"
 )
 
 // Options selects the telemetry sources. Nil fields disable the
@@ -34,6 +37,11 @@ type Options struct {
 	Registry  *obs.Registry
 	Tracer    *obs.Tracer
 	Heartbeat *obs.Heartbeat
+
+	// Trace is the flight profiler's event collector behind /trace. The
+	// endpoint snapshots whatever has been recorded so far, so a download
+	// mid-run is valid (if partial) Chrome Trace JSON.
+	Trace *trace.Collector
 }
 
 // Handler builds the telemetry mux for the given sources.
@@ -49,6 +57,7 @@ func Handler(opts Options) http.Handler {
 		fmt.Fprintln(w, "  /metrics         prometheus text exposition")
 		fmt.Fprintln(w, "  /progress        heartbeat JSON (?sse=1 for an SSE stream)")
 		fmt.Fprintln(w, "  /spans           span tree JSON")
+		fmt.Fprintln(w, "  /trace           flight-profiler Chrome Trace JSON (open in Perfetto)")
 		fmt.Fprintln(w, "  /debug/pprof/    go profiling endpoints")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -86,6 +95,15 @@ func Handler(opts Options) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(b)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		if opts.Trace == nil || !opts.Trace.Enabled() && opts.Trace.Len() == 0 {
+			http.Error(w, "no trace collector (run with -trace-out or -listen)", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="hetarch-trace.json"`)
+		opts.Trace.WriteChromeTrace(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

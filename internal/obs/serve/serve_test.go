@@ -4,14 +4,19 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"hetarch/internal/mc"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/trace"
 )
 
 func testOptions() (Options, *obs.Registry, *obs.Tracer) {
@@ -135,7 +140,7 @@ func TestProgressJSONAndSSE(t *testing.T) {
 func TestDisabledEndpointsReturn503(t *testing.T) {
 	ts := httptest.NewServer(Handler(Options{}))
 	defer ts.Close()
-	for _, path := range []string{"/metrics", "/progress", "/spans"} {
+	for _, path := range []string{"/metrics", "/progress", "/spans", "/trace"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -225,6 +230,190 @@ func TestShutdownDisconnectsSSESubscribers(t *testing.T) {
 	case <-done:
 	case <-time.After(3 * time.Second):
 		t.Fatal("SSE subscriber still connected after Shutdown returned")
+	}
+}
+
+// TestServeUnderLoad hammers the telemetry surface the way a fleet of
+// dashboards would — concurrent /metrics scrapes, SSE /progress
+// subscribers, and /trace downloads — while a sharded Monte Carlo run
+// executes with the flight profiler armed. Under -race this proves the
+// handlers only ever see published state, and the engine's determinism
+// check at the end proves serving never perturbed the run.
+func TestServeUnderLoad(t *testing.T) {
+	var progress atomic.Int64
+	runner := func() mc.ShardRunner {
+		return func(sh mc.Shard) mc.Tally {
+			rng := sh.RNG()
+			var tl mc.Tally
+			for i := 0; i < sh.Shots; i++ {
+				tl.Shots++
+				if rng.Float64() < 0.37 {
+					tl.Errors++
+				}
+			}
+			progress.Add(int64(sh.Shots))
+			return tl
+		}
+	}
+	cfg := mc.Config{Shots: 4_000, Seed: 11, ShardSize: 128, Workers: 4}
+
+	// A small buffer keeps every /trace download cheap even though the run
+	// loop below fills it: once full, further events are counted as drops.
+	trace.Default.Enable(1<<12, 2)
+	defer trace.Default.Disable()
+	hb := obs.StartHeartbeat(io.Discard, 5*time.Millisecond, 1_000_000, progress.Load)
+	defer hb.Stop()
+	srv, err := Start("127.0.0.1:0", Options{
+		Registry:  obs.Default, // mc's shard histograms register here
+		Tracer:    obs.DefaultTracer,
+		Heartbeat: hb,
+		Trace:     trace.Default,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// The engine runs continuously until every load client is done, so all
+	// scrapes and downloads land mid-run.
+	want := mc.Run(cfg, runner)
+	stopRun := make(chan struct{})
+	runDone := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stopRun:
+				runDone <- nil
+				return
+			default:
+			}
+			if got := mc.Run(cfg, runner); got != want {
+				runDone <- fmt.Errorf("tally under load %+v != baseline %+v", got, want)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	for c := 0; c < 4; c++ { // Prometheus scrapers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Get(base + "/metrics")
+				if err != nil {
+					fail("/metrics: %v", err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					fail("/metrics status %d", resp.StatusCode)
+					return
+				}
+				if !strings.Contains(string(body), "mc_shard_wall_ns") {
+					fail("/metrics missing mc_shard_wall_ns")
+					return
+				}
+			}
+		}()
+	}
+	for c := 0; c < 3; c++ { // SSE subscribers
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(base + "/progress?sse=1")
+			if err != nil {
+				fail("/progress sse: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			events := 0
+			for sc.Scan() && events < 3 {
+				line := sc.Text()
+				if !strings.HasPrefix(line, "data: ") {
+					continue
+				}
+				var u obs.ProgressUpdate
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u); err != nil {
+					fail("bad SSE payload %q: %v", line, err)
+					return
+				}
+				events++
+			}
+			if events < 3 {
+				fail("saw %d SSE events, want >= 3", events)
+			}
+		}()
+	}
+	for c := 0; c < 3; c++ { // trace downloaders
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				resp, err := http.Get(base + "/trace")
+				if err != nil {
+					fail("/trace: %v", err)
+					return
+				}
+				var tr trace.ChromeTrace
+				err = json.NewDecoder(resp.Body).Decode(&tr)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					fail("/trace status %d", resp.StatusCode)
+					return
+				}
+				if err != nil {
+					fail("/trace mid-run download is not valid JSON: %v", err)
+					return
+				}
+				if tr.DisplayTimeUnit != "ms" {
+					fail("/trace displayTimeUnit %q", tr.DisplayTimeUnit)
+					return
+				}
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stopRun)
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// The armed profiler must have captured shard events by now.
+	resp, err := http.Get(base + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr trace.ChromeTrace
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	shardEvents := 0
+	for _, ev := range tr.TraceEvents {
+		if cat, _ := ev["cat"].(string); cat == "mc.shard" {
+			shardEvents++
+		}
+	}
+	if shardEvents == 0 {
+		t.Fatal("no mc.shard events in /trace after a sharded run")
 	}
 }
 

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeTrace is the exported file shape: the JSON Object Format of the
+// Chrome Trace Event specification, which Perfetto and chrome://tracing
+// open directly. TraceEvents holds metadata records (process/thread
+// names) followed by the recorded events.
+type ChromeTrace struct {
+	TraceEvents     []map[string]any `json:"traceEvents"`
+	DisplayTimeUnit string           `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders the events recorded so far into the JSON object
+// format. Processes (pids) are assigned deterministically by sorted Proc
+// name, and every (Proc, Lane) pair seen gets a thread_name metadata
+// record ("worker N"), so equal event sets render byte-identically.
+func (c *Collector) ChromeTrace() ChromeTrace {
+	events := c.Events()
+
+	// Deterministic pid assignment: sorted proc names, 1-based.
+	procSet := map[string]bool{}
+	for _, e := range events {
+		procSet[procName(e.Proc)] = true
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	pid := make(map[string]int, len(procs))
+	for i, p := range procs {
+		pid[p] = i + 1
+	}
+
+	// Lanes seen per process, for thread_name metadata.
+	type laneKey struct {
+		proc string
+		lane int
+	}
+	laneSet := map[laneKey]bool{}
+	for _, e := range events {
+		laneSet[laneKey{procName(e.Proc), e.Lane}] = true
+	}
+	lanes := make([]laneKey, 0, len(laneSet))
+	for k := range laneSet {
+		lanes = append(lanes, k)
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].proc != lanes[j].proc {
+			return lanes[i].proc < lanes[j].proc
+		}
+		return lanes[i].lane < lanes[j].lane
+	})
+
+	out := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []map[string]any{}}
+	meta := func(name string, p int, args map[string]any, tid ...int) {
+		m := map[string]any{"name": name, "ph": "M", "pid": p, "args": args}
+		if len(tid) > 0 {
+			m["tid"] = tid[0]
+		}
+		out.TraceEvents = append(out.TraceEvents, m)
+	}
+	for _, p := range procs {
+		meta("process_name", pid[p], map[string]any{"name": p})
+	}
+	for _, k := range lanes {
+		meta("thread_name", pid[k.proc], map[string]any{"name": fmt.Sprintf("worker %d", k.lane)}, k.lane)
+	}
+
+	for _, e := range events {
+		m := map[string]any{
+			"name": e.Name,
+			"ph":   string(rune(e.Phase)),
+			"pid":  pid[procName(e.Proc)],
+			"tid":  e.Lane,
+			"ts":   micros(e.TS),
+		}
+		if e.Cat != "" {
+			m["cat"] = e.Cat
+		}
+		switch e.Phase {
+		case PhaseComplete:
+			m["dur"] = micros(e.Dur)
+		case PhaseInstant:
+			m["s"] = "t" // thread-scoped tick
+		}
+		args := map[string]any{}
+		if e.Index >= 0 {
+			args["index"] = e.Index
+		}
+		for k, v := range e.Attrs {
+			args[k] = v
+		}
+		if len(args) > 0 {
+			m["args"] = args
+		}
+		out.TraceEvents = append(out.TraceEvents, m)
+	}
+	return out
+}
+
+// WriteChromeTrace writes the Chrome Trace Event JSON to w.
+func (c *Collector) WriteChromeTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(c.ChromeTrace())
+}
+
+// procName defaults an empty Proc so events without one still land on a
+// visible track.
+func procName(p string) string {
+	if p == "" {
+		return "hetarch"
+	}
+	return p
+}
+
+// micros converts trace-clock nanoseconds to the microsecond timestamps
+// the trace format uses, keeping sub-microsecond resolution.
+func micros(ns int64) float64 { return float64(ns) / 1e3 }

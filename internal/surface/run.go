@@ -9,6 +9,7 @@ import (
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/stats"
+	"hetarch/internal/obs/trace"
 	"hetarch/internal/stabsim"
 )
 
@@ -167,9 +168,30 @@ func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, work
 		defects := make([]bool, e.Graph.NumNodes)
 		return func(sh mc.Shard) mc.Tally {
 			bs.SetRNG(sh.RNG())
+			// Sub-phase tracing splits a sampled shard's slice into its
+			// sample (frame propagation) and decode (union-find) phases,
+			// one pair per 64-shot batch. Timing never touches the RNG, so
+			// traced and untraced runs are bit-identical.
+			traced := trace.Sampled(sh.Index)
+			emit := func(name string, ts0 int64) int64 {
+				ts1 := trace.Now()
+				trace.Emit(trace.Event{
+					Name: name, Cat: "mc." + name, Proc: "mc", Lane: sh.Lane,
+					Phase: trace.PhaseComplete, TS: ts0, Dur: ts1 - ts0,
+					Index: int64(sh.Index),
+				})
+				return ts1
+			}
 			var t mc.Tally
 			for done := 0; done < sh.Shots; {
+				var ts0 int64
+				if traced {
+					ts0 = trace.Now()
+				}
 				batch := bs.SampleBatch()
+				if traced {
+					ts0 = emit("sample", ts0)
+				}
 				n := 64
 				if sh.Shots-done < n {
 					n = sh.Shots - done
@@ -183,6 +205,9 @@ func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, work
 					if (pred&1 == 1) != actual {
 						t.Errors++
 					}
+				}
+				if traced {
+					emit("decode", ts0)
 				}
 				done += n
 			}
