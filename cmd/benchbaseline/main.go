@@ -8,7 +8,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchbaseline [-o BENCH_baseline.json] [-seed N] [-workers N]
+//	go run ./cmd/benchbaseline [-o BENCH_baseline.json] [-seed N] [-workers N] [-ledger-dir DIR]
+//
+// Like cmd/hetarch, every invocation mints a run ID (stamped into the
+// baseline's run_id field) and journals an envelope to the run ledger, so
+// `hetarch runs show` can trace a bench number back to the exact
+// invocation — and verify the artifact's digest — months later. Pass
+// -ledger-dir off (or HETARCH_LEDGER_DIR=off) to opt out.
 package main
 
 import (
@@ -25,13 +31,19 @@ import (
 	"hetarch/internal/experiments"
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/ledger"
+	"hetarch/internal/obs/runlog"
 )
 
 func main() {
 	out := flag.String("o", "BENCH_baseline.json", "output file")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	workers := flag.Int("workers", 0, "Monte Carlo worker goroutines (0 = NumCPU)")
+	ledgerDir := flag.String("ledger-dir", "", `run-ledger directory (default $HETARCH_LEDGER_DIR, then ~/.hetarch; "off" disables)`)
 	flag.Parse()
+
+	startedAt := time.Now().UTC()
+	runID := runlog.MintID(*seed)
 
 	sc := experiments.Quick()
 	sc.Workers = *workers
@@ -61,6 +73,7 @@ func main() {
 	}
 
 	b := bench.Baseline{
+		RunID:      runID,
 		RecordedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -110,6 +123,56 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+	appendLedger(*ledgerDir, runID, &b, *out, *seed, startedAt)
+}
+
+// appendLedger journals the invocation to the run ledger: tool
+// "benchbaseline", the baseline file as a digested "bench" artifact. The
+// ledger is provenance, not results — any failure here is reported but
+// never fails the command, unless the user explicitly chose the directory
+// and it cannot be opened.
+func appendLedger(dirFlag, runID string, b *bench.Baseline, out string, seed int64, startedAt time.Time) {
+	dir, explicit := dirFlag, dirFlag != ""
+	if dir == ledger.Off {
+		return
+	}
+	if !explicit {
+		var ok bool
+		if dir, ok = ledger.DefaultDir(); !ok {
+			return
+		}
+	}
+	led, err := ledger.Open(dir)
+	if err != nil {
+		if explicit {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "benchbaseline: warning:", err)
+		return
+	}
+	defer led.Close()
+	e := ledger.Envelope{
+		RunID:       runID,
+		Tool:        "benchbaseline",
+		Seed:        seed,
+		Workers:     b.Workers,
+		Args:        os.Args[1:],
+		GoVersion:   b.GoVersion,
+		GitRevision: b.GitRevision,
+		GitDirty:    b.GitDirty,
+		StartedAt:   startedAt.Format(time.RFC3339Nano),
+		EndedAt:     time.Now().UTC().Format(time.RFC3339),
+		WallSeconds: round(time.Since(startedAt).Seconds()),
+		Status:      ledger.StatusOK,
+	}
+	a, aerr := ledger.FileArtifact("bench", out)
+	if aerr != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline: warning: digest", out+":", aerr)
+	}
+	e.Artifacts = append(e.Artifacts, a)
+	if err := led.Append(e); err != nil {
+		fmt.Fprintln(os.Stderr, "benchbaseline: warning:", err)
+	}
 }
 
 // shots totals every logical-shot counter, mirroring cmd/hetarch -progress.

@@ -88,14 +88,16 @@ func experimentsIn(series []bench.Baseline) []string {
 
 // printTrend renders one table per experiment, oldest baseline first, with
 // the relative shots/sec change against the preceding row. Metrics absent
-// from older artifacts render as "-".
+// from older artifacts render as "-". Labels come from bench.SeriesLabels,
+// so consecutive dirty rebuilds of one revision get distinct rows.
 func printTrend(w io.Writer, series []bench.Baseline) {
+	labels := bench.SeriesLabels(series)
 	for _, name := range experimentsIn(series) {
 		fmt.Fprintf(w, "== %s ==\n", name)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "revision\tshots/sec\tns/shot\tallocs/shot\tdelta")
 		prev := 0.0
-		for _, b := range series {
+		for i, b := range series {
 			e := b.Entry(name)
 			if e == nil {
 				continue
@@ -105,7 +107,7 @@ func printTrend(w io.Writer, series []bench.Baseline) {
 				delta = fmt.Sprintf("%+.1f%%", 100*(e.ShotsPerSec/prev-1))
 			}
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
-				b.Label(), num(e.ShotsPerSec, "%.0f"), num(e.NsPerShot, "%.0f"),
+				labels[i], num(e.ShotsPerSec, "%.0f"), num(e.NsPerShot, "%.0f"),
 				num(e.AllocsPerShot, "%.2f"), delta)
 			if e.ShotsPerSec > 0 {
 				prev = e.ShotsPerSec
@@ -131,8 +133,10 @@ func gate(w io.Writer, series []bench.Baseline, tol float64) int {
 		fmt.Fprintln(w, "gate: only one baseline, nothing to compare")
 		return 0
 	}
+	labels := bench.SeriesLabels(series)
 	old, new := &series[len(series)-2], &series[len(series)-1]
-	fmt.Fprintf(w, "gate: %s -> %s (tolerance %.0f%%)\n", old.Label(), new.Label(), 100*tol)
+	fmt.Fprintf(w, "gate: %s -> %s (tolerance %.0f%%)\n",
+		labels[len(series)-2], labels[len(series)-1], 100*tol)
 	regressions := 0
 	for _, name := range experimentsIn(series) {
 		oe, ne := old.Entry(name), new.Entry(name)

@@ -128,6 +128,40 @@ func TestTrendTable(t *testing.T) {
 	}
 }
 
+// TestDirtyRebuildDisambiguation: two consecutive baselines from dirty
+// rebuilds of the same revision — the iterate-locally CI pattern — used to
+// render under one indistinguishable label; the gate line and trend table
+// must now show them as distinct -dirty rows disambiguated by timestamp,
+// and the gate must still compare them (regression → exit 1).
+func TestDirtyRebuildDisambiguation(t *testing.T) {
+	dir := t.TempDir()
+	first := baseline("cafe000000", 1000, 500)
+	first.GitDirty = true
+	first.RecordedAt = "2026-08-02T10:00:00Z"
+	second := baseline("cafe000000", 700, 500) // -30% on fig9
+	second.GitDirty = true
+	second.RecordedAt = "2026-08-02T11:00:00Z"
+	a := writeBaseline(t, dir, "a.json", first)
+	b := writeBaseline(t, dir, "b.json", second)
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{a, b}, &stdout, &stderr); got != 1 {
+		t.Fatalf("dirty-rebuild regression exited %d, want 1\n%s%s", got, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	labelA := "cafe000000-dirty@2026-08-02T10:00:00Z"
+	labelB := "cafe000000-dirty@2026-08-02T11:00:00Z"
+	if !strings.Contains(out, labelA) || !strings.Contains(out, labelB) {
+		t.Fatalf("trend rows not disambiguated:\n%s", out)
+	}
+	if !strings.Contains(out, "gate: "+labelA+" -> "+labelB) {
+		t.Fatalf("gate line not disambiguated:\n%s", out)
+	}
+	if !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("regression between dirty rebuilds not flagged:\n%s", out)
+	}
+}
+
 // TestSingleBaselineGatesNothing: the first CI run has no predecessor and
 // must pass.
 func TestSingleBaselineGatesNothing(t *testing.T) {

@@ -6,10 +6,26 @@
 //	hetarch <experiment> [-quick] [-seed N] [-shots N] [-json] [-metrics]
 //	        [-progress] [-listen ADDR] [-record FILE] [-checkpoint FILE]
 //	        [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
-//	        [-trace-out FILE] [-trace-sample N]
+//	        [-trace-out FILE] [-trace-sample N] [-log-format text|json]
+//	        [-ledger-dir DIR]
+//	hetarch runs <list|show|diff|gc> [args]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
 // fig4, fig6, fig7, fig9, table3, fig12, table4, dse, all.
+//
+// Every invocation mints a run ID (deterministic ULID-style: timestamp +
+// entropy derived from -seed) that is stamped into the structured event
+// log, the recorder header, the checkpoint file, the trace metadata, and
+// cache write envelopes, and appends one envelope — args, seed, git
+// revision, exit status, headline metrics, artifact manifest with sha256
+// digests — to the append-only run ledger (-ledger-dir, default
+// $HETARCH_LEDGER_DIR then ~/.hetarch; "off" disables). `hetarch runs`
+// audits that ledger: list past runs, show one with digest verification,
+// diff two through the obs/diff gates, gc runs whose artifacts are gone.
+//
+// Operational events (run start/done, checkpoint resume, shard faults,
+// trace written, ...) go to stderr through log/slog — logfmt-style text by
+// default, one JSON object per line under -log-format json.
 //
 // -listen serves live telemetry over HTTP while the run is in flight:
 // /metrics (Prometheus text), /progress (JSON, or SSE with ?sse=1), /spans
@@ -58,17 +74,22 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"hetarch/internal/cell"
 	"hetarch/internal/core"
 	dsecache "hetarch/internal/dse/cache"
 	"hetarch/internal/experiments"
 	"hetarch/internal/mc"
 	"hetarch/internal/mc/checkpoint"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/ledger"
 	"hetarch/internal/obs/recorder"
+	"hetarch/internal/obs/runlog"
 	"hetarch/internal/obs/runtimemetrics"
 	"hetarch/internal/obs/serve"
 	"hetarch/internal/obs/trace"
@@ -106,12 +127,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	memprofile := fs.String("memprofile", "", "write a heap profile to `file` at exit")
 	traceOut := fs.String("trace-out", "", "write a flight-profiler trace (Chrome Trace Event JSON, opens in Perfetto) to `file`")
 	traceSample := fs.Int("trace-sample", trace.DefaultSampleN, "trace every `N`th shard/point by index (1 = all; deterministic, never affects results)")
+	logFormat := fs.String("log-format", runlog.FormatText, "structured event-log format on stderr: text or json")
+	ledgerDir := fs.String("ledger-dir", "", "append this run's envelope to the run ledger in `dir` (default $HETARCH_LEDGER_DIR, then ~/.hetarch; \"off\" disables)")
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "hetarch: missing experiment name")
 		usage(fs, stderr)
 		return exitUsage
 	}
 	name := args[0]
+	if name == "runs" {
+		return runsMain(args[1:], stdout, stderr)
+	}
 	if strings.HasPrefix(name, "-") {
 		fmt.Fprintf(stderr, "hetarch: first argument must be the experiment name, got flag %q\n", name)
 		usage(fs, stderr)
@@ -162,6 +188,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(fs, stderr)
 		return exitUsage
 	}
+	if *logFormat != runlog.FormatText && *logFormat != runlog.FormatJSON {
+		fmt.Fprintf(stderr, "hetarch: -log-format must be %q or %q, got %q\n", runlog.FormatText, runlog.FormatJSON, *logFormat)
+		usage(fs, stderr)
+		return exitUsage
+	}
 	if !knownExperiment(name) {
 		fmt.Fprintf(stderr, "hetarch: unknown experiment %q\n", name)
 		usage(fs, stderr)
@@ -178,6 +209,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sc.Shots = *shots
 	}
 	sc.Workers = *workers
+
+	// Run identity: a deterministic-format ULID (mint time + entropy from
+	// -seed) stamped into every event, artifact, and the ledger envelope.
+	// The header doubles as the build/host fact sheet for both the recorder
+	// artifact and the envelope.
+	runID := runlog.MintID(*seed)
+	hdr := recorder.NewHeader("hetarch", name, scaleName, *seed, mc.ResolveWorkers(*workers), args)
+	hdr.RunID = runID
+	lg, err := runlog.New(stderr, *logFormat, runID)
+	if err != nil {
+		fmt.Fprintln(stderr, "hetarch:", err) // unreachable: format validated above
+		return exitUsage
+	}
+	runlog.Set(lg)
+	defer runlog.Set(nil)
+	lg.Info(runlog.EvRunStart, "experiment", name, "scale", scaleName,
+		"seed", *seed, "workers", hdr.Workers, "git_revision", hdr.GitRevision, "git_dirty", hdr.GitDirty)
+
+	// The run ledger is on by default (~/.hetarch, overridable via
+	// HETARCH_LEDGER_DIR or -ledger-dir; "off" disables). A broken default
+	// location degrades to a warning — provenance must never fail a run the
+	// user did not explicitly ask to journal — but an explicit -ledger-dir
+	// that cannot be opened is an error.
+	var led *ledger.Ledger
+	var ledgerPath string
+	{
+		dir, enabled, explicit := *ledgerDir, true, *ledgerDir != ""
+		if !explicit {
+			dir, enabled = ledger.DefaultDir()
+		} else if dir == ledger.Off {
+			enabled = false
+		}
+		if !enabled {
+			lg.Info(runlog.EvLedgerDisabled)
+		} else if l, err := ledger.Open(dir); err != nil {
+			if explicit {
+				fmt.Fprintln(stderr, "hetarch: ledger-dir:", err)
+				return exitError
+			}
+			lg.Warn(runlog.EvLedgerDisabled, "error", err.Error())
+		} else {
+			led = l
+			ledgerPath = l.Path()
+			defer led.Close()
+		}
+	}
 
 	// SIGINT/SIGTERM cancel the run context: the mc engine stops dispatching
 	// shards, in-flight shards finish (and checkpoint), and the run winds
@@ -207,6 +284,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// shard/point index, so an armed profiler never changes results.
 	if *traceOut != "" || *listen != "" {
 		trace.Default.Enable(trace.DefaultCapacity, *traceSample)
+		trace.Default.SetRunID(runID)
 		defer trace.Default.Disable()
 	}
 	// Runtime telemetry (heap, GC pauses, goroutines, sched latency) rides
@@ -234,10 +312,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *listen != "" {
 		srv, err := serve.Start(*listen, serve.Options{
-			Registry:  obs.Default,
-			Tracer:    obs.DefaultTracer,
-			Heartbeat: hb,
-			Trace:     trace.Default,
+			Registry:   obs.Default,
+			Tracer:     obs.DefaultTracer,
+			Heartbeat:  hb,
+			Trace:      trace.Default,
+			LedgerPath: ledgerPath,
 		})
 		if err != nil {
 			fmt.Fprintln(stderr, "hetarch: listen:", err)
@@ -250,17 +329,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 			defer cancel()
 			srv.Shutdown(sctx)
 		}()
-		fmt.Fprintf(stderr, "telemetry: http://%s/ (metrics, progress, spans, trace, debug/pprof)\n", srv.Addr())
+		lg.Info(runlog.EvTelemetryListen, "url", "http://"+srv.Addr()+"/",
+			"endpoints", "metrics,progress,spans,trace,runs,debug/pprof")
 	}
 
+	// resumedFrom is the interrupted run whose checkpoint this run adopted
+	// (recorded in the ledger envelope as provenance).
+	resumedFrom := ""
 	if *ckptPath != "" {
-		cp, err := checkpoint.Open(*ckptPath, checkpoint.NewMeta("hetarch", name, scaleName, *seed, *shots))
+		meta := checkpoint.NewMeta("hetarch", name, scaleName, *seed, *shots)
+		meta.RunID = runID
+		cp, err := checkpoint.Open(*ckptPath, meta)
 		if err != nil {
 			fmt.Fprintln(stderr, "hetarch: checkpoint:", err)
 			return exitError
 		}
 		if n := cp.Resumed(); n > 0 {
-			fmt.Fprintf(stderr, "checkpoint: resuming %s from %s (%d shards already done)\n", name, *ckptPath, n)
+			if from := cp.Meta().RunID; from != "" && from != runID {
+				resumedFrom = from
+			}
+			lg.Info(runlog.EvCheckpointResume, "experiment", name, "path", *ckptPath,
+				"shards_done", n, "from_run", resumedFrom)
 		}
 		mc.SetCheckpoint(cp)
 		defer func() {
@@ -273,14 +362,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// -cache-dir the characterization-heavy runners keep their historical
 	// behaviour (dse memoizes in-process, cells simulates directly).
 	var charStore core.CharacterizationStore
+	var cacheTrack *trackingStore
 	if *cacheDir != "" {
 		dir, err := dsecache.Open(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(stderr, "hetarch: cache-dir:", err)
 			return exitError
 		}
-		charStore = dir
-		fmt.Fprintf(stderr, "characterization cache: %s\n", dir.Path())
+		dir.SetRunID(runID)
+		cacheTrack = &trackingStore{dir: dir, keys: map[string]bool{}}
+		charStore = cacheTrack
+		lg.Info(runlog.EvCacheOpen, "dir", dir.Path())
 	}
 
 	var rec *recorder.FileWriter
@@ -292,7 +384,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitError
 		}
 		defer rec.Close()
-		if err := rec.WriteHeader(recorder.NewHeader("hetarch", name, scaleName, *seed, mc.ResolveWorkers(*workers), args)); err != nil {
+		if err := rec.WriteHeader(hdr); err != nil {
 			fmt.Fprintln(stderr, "hetarch: record:", err)
 			return exitError
 		}
@@ -330,6 +422,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	runStart := time.Now()
+	shotsBase, errsBase := totalShots(), totalErrors()
+
+	// appendLedger writes the run's envelope once the outcome is known. It
+	// runs after the recorder is finalized and the trace file is written, so
+	// the manifest digests cover the artifacts' final bytes. A ledger write
+	// failure is reported but never changes the exit code: provenance is
+	// results-neutral by construction.
+	appendLedger := func(status string, runErr error) {
+		if led == nil {
+			return
+		}
+		wall := time.Since(runStart).Seconds()
+		e := ledger.Envelope{
+			RunID:       runID,
+			Tool:        "hetarch",
+			Experiment:  name,
+			Scale:       scaleName,
+			Seed:        *seed,
+			Shots:       *shots,
+			Workers:     hdr.Workers,
+			Args:        args,
+			GoVersion:   hdr.GoVersion,
+			GitRevision: hdr.GitRevision,
+			GitDirty:    hdr.GitDirty,
+			StartedAt:   hdr.StartedAt,
+			EndedAt:     time.Now().UTC().Format(time.RFC3339),
+			WallSeconds: wall,
+			Status:      status,
+			ResumedFrom: resumedFrom,
+			Metrics:     ledger.NewHeadline(totalShots()-shotsBase, totalErrors()-errsBase, wall),
+		}
+		if runErr != nil {
+			e.Error = runErr.Error()
+		}
+		add := func(kind, path, key string) {
+			if path == "" {
+				return
+			}
+			a, err := ledger.FileArtifact(kind, path)
+			if err != nil {
+				lg.Warn(runlog.EvLedgerDisabled, "artifact", path, "error", err.Error())
+				return
+			}
+			a.Key = key
+			e.Artifacts = append(e.Artifacts, a)
+		}
+		add("recorder", *record, "")
+		add("checkpoint", *ckptPath, "")
+		add("trace", *traceOut, "")
+		if cacheTrack != nil {
+			for _, k := range cacheTrack.sortedKeys() {
+				add("cache", cacheTrack.dir.EntryPath(k), k)
+			}
+		}
+		if err := led.Append(e); err != nil {
+			fmt.Fprintln(stderr, "hetarch: ledger:", err)
+		}
+	}
+
 	runOne := func(n string) error {
 		sp := obs.Span(n)
 		defer sp.End()
@@ -361,7 +512,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			// Timing is telemetry: keep it off stdout so -json output (and
 			// any piped table output) stays clean.
-			fmt.Fprintf(stderr, "-- %s done in %v --\n", n, time.Since(start).Round(time.Millisecond))
+			lg.Info(runlog.EvExperimentDone, "experiment", n, "wall", time.Since(start).Round(time.Millisecond).String())
 		}
 	} else {
 		runErr = runOne(name)
@@ -392,28 +543,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err := writeTraceFile(*traceOut); err != nil {
 			fmt.Fprintln(stderr, "hetarch: trace-out:", err)
 			if runErr == nil {
+				appendLedger(ledger.StatusError, err)
 				return exitError
 			}
 		} else {
-			fmt.Fprintf(stderr, "trace: %d events -> %s (open in Perfetto: https://ui.perfetto.dev)\n",
-				trace.Default.Len(), *traceOut)
-			if d := trace.Default.Dropped(); d > 0 {
-				fmt.Fprintf(stderr, "trace: %d events dropped (buffer full; raise -trace-sample)\n", d)
-			}
+			lg.Info(runlog.EvTraceWritten, "path", *traceOut, "events", trace.Default.Len(),
+				"dropped", trace.Default.Dropped(), "viewer", "https://ui.perfetto.dev")
 		}
 	}
 	if runErr != nil {
 		if interrupted(ctx, runErr) {
 			stopSignals() // restore default handling: a second ^C kills immediately
-			fmt.Fprintln(stderr, "hetarch: interrupted:", runErr)
+			resume := ""
 			if *ckptPath != "" {
-				fmt.Fprintf(stderr, "hetarch: checkpoint flushed; resume with: hetarch %s\n", strings.Join(args, " "))
+				resume = "hetarch " + strings.Join(args, " ")
 			}
+			lg.Warn(runlog.EvRunInterrupted, "error", runErr.Error(), "checkpoint", *ckptPath, "resume", resume)
+			appendLedger(ledger.StatusInterrupted, runErr)
 			return exitInterrupted
 		}
 		fmt.Fprintln(stderr, "hetarch:", runErr)
+		appendLedger(ledger.StatusError, runErr)
 		return exitError
 	}
+	appendLedger(ledger.StatusOK, nil)
+	lg.Info(runlog.EvRunDone, "status", ledger.StatusOK,
+		"wall_seconds", time.Since(runStart).Seconds(), "shots", totalShots()-shotsBase)
 
 	if *metrics {
 		if err := emitTelemetry(stderr, *asJSON); err != nil {
@@ -531,6 +686,44 @@ func tableJSON(w io.Writer) func(func() (*experiments.Table, error)) func() erro
 	}
 }
 
+// trackingStore wraps the persistent characterization cache to record
+// every key a run touched (loads and stores alike), so the ledger envelope
+// can manifest the cache entries with their on-disk digests. It forwards
+// both CharacterizationStore methods unchanged — tracking never alters
+// cache behaviour, keeping warm-run stdout bit-identical.
+type trackingStore struct {
+	dir  *dsecache.Dir
+	mu   sync.Mutex
+	keys map[string]bool
+}
+
+func (s *trackingStore) Load(key string) (*cell.Characterization, bool, error) {
+	s.track(key)
+	return s.dir.Load(key)
+}
+
+func (s *trackingStore) Store(key string, c *cell.Characterization) error {
+	s.track(key)
+	return s.dir.Store(key, c)
+}
+
+func (s *trackingStore) track(key string) {
+	s.mu.Lock()
+	s.keys[key] = true
+	s.mu.Unlock()
+}
+
+func (s *trackingStore) sortedKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.keys))
+	for k := range s.keys {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // writeTraceFile dumps the flight profiler's buffer as Chrome Trace Event
 // JSON.
 func writeTraceFile(path string) error {
@@ -547,5 +740,6 @@ func writeTraceFile(path string) error {
 
 func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, "usage: hetarch <%s|all> [flags]\n", strings.Join(allOrder, "|"))
+	fmt.Fprintln(w, "       hetarch runs <list|show|diff|gc> [args]   (audit the run ledger)")
 	fs.PrintDefaults()
 }

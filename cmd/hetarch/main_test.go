@@ -14,7 +14,22 @@ import (
 	"hetarch/internal/mc"
 	"hetarch/internal/mc/chaos"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/ledger"
 )
+
+// TestMain points the default run-ledger location at a throwaway directory:
+// the ledger is on by default, and tests must never journal into the real
+// ~/.hetarch.
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "hetarch-test-ledger-")
+	if err != nil {
+		panic(err)
+	}
+	os.Setenv(ledger.EnvDir, dir)
+	code := m.Run()
+	os.RemoveAll(dir)
+	os.Exit(code)
+}
 
 // TestRunFlagValidation: misconfiguration must be a usage error (exit 2)
 // diagnosed before any Monte Carlo work starts.
@@ -83,8 +98,8 @@ func TestChaosCLIInterruptResumeBitIdentical(t *testing.T) {
 	if code != exitInterrupted {
 		t.Fatalf("interrupted run exited %d, want %d (stderr: %s)", code, exitInterrupted, err1.String())
 	}
-	if !strings.Contains(err1.String(), "checkpoint flushed; resume with") {
-		t.Fatalf("stderr missing resume hint: %s", err1.String())
+	if !strings.Contains(err1.String(), "run.interrupted") || !strings.Contains(err1.String(), "resume=") {
+		t.Fatalf("stderr missing interrupt event with resume hint: %s", err1.String())
 	}
 
 	// Second attempt: same argv, no chaos. Must resume and finish clean.
@@ -92,7 +107,7 @@ func TestChaosCLIInterruptResumeBitIdentical(t *testing.T) {
 	if code := run(argv, &out2, &err2); code != exitOK {
 		t.Fatalf("resume run exited %d: %s", code, err2.String())
 	}
-	if !strings.Contains(err2.String(), "checkpoint: resuming fig9") {
+	if !strings.Contains(err2.String(), "run.checkpoint_resume") || !strings.Contains(err2.String(), "experiment=fig9") {
 		t.Fatalf("resume run did not report resumed shards: %s", err2.String())
 	}
 	if out2.String() != want.String() {

@@ -33,6 +33,10 @@ type Entry struct {
 
 // Baseline is one benchmark run: host facts plus per-experiment entries.
 type Baseline struct {
+	// RunID is the run-ledger identity of the benchbaseline invocation
+	// that measured this artifact (empty for artifacts predating the
+	// ledger), linking a bench number back to `hetarch runs show`.
+	RunID       string `json:"run_id,omitempty"`
 	RecordedAt  string `json:"recorded_at"`
 	GoVersion   string `json:"go_version"`
 	GitRevision string `json:"git_revision,omitempty"`
@@ -58,8 +62,10 @@ func (b *Baseline) Entry(experiment string) *Entry {
 }
 
 // Label identifies a baseline in trend tables: the short git revision
-// (with a + suffix when the tree was dirty), falling back to the recording
-// timestamp for artifacts that predate revision stamping.
+// (with a -dirty suffix when the tree was modified), falling back to the
+// recording timestamp for artifacts that predate revision stamping. Two
+// dirty rebuilds of the same revision share a label — use SeriesLabels to
+// disambiguate within a series.
 func (b *Baseline) Label() string {
 	if b.GitRevision != "" {
 		rev := b.GitRevision
@@ -67,7 +73,7 @@ func (b *Baseline) Label() string {
 			rev = rev[:10]
 		}
 		if b.GitDirty {
-			rev += "+"
+			rev += "-dirty"
 		}
 		return rev
 	}
@@ -75,6 +81,36 @@ func (b *Baseline) Label() string {
 		return b.RecordedAt
 	}
 	return "(unknown)"
+}
+
+// SeriesLabels returns one display label per baseline, disambiguating
+// duplicates (consecutive dirty rebuilds of the same revision, re-recorded
+// artifacts) by appending the recording timestamp — or a #index fallback
+// when even the timestamps collide — so trend tables and gate lines never
+// show two rows under one name.
+func SeriesLabels(series []Baseline) []string {
+	labels := make([]string, len(series))
+	count := map[string]int{}
+	for i := range series {
+		labels[i] = series[i].Label()
+		count[labels[i]]++
+	}
+	seen := map[string]int{}
+	for i, l := range labels {
+		if count[l] < 2 {
+			continue
+		}
+		if at := series[i].RecordedAt; at != "" && at != l {
+			labels[i] = l + "@" + at
+		}
+		// Timestamps can collide too (same-second rebuilds, or artifacts
+		// with no RecordedAt): fall back to the series position.
+		seen[labels[i]]++
+		if n := seen[labels[i]]; n > 1 {
+			labels[i] = fmt.Sprintf("%s#%d", labels[i], n)
+		}
+	}
+	return labels
 }
 
 // VCSRevision reports the git revision baked into the binary by the go

@@ -109,10 +109,40 @@ func TestLoadSeriesFlattensInOrder(t *testing.T) {
 
 func TestDirtyLabel(t *testing.T) {
 	b := Baseline{GitRevision: "bbbbbbbbbbbb", GitDirty: true}
-	if got := b.Label(); got != "bbbbbbbbbb+" {
+	if got := b.Label(); got != "bbbbbbbbbb-dirty" {
 		t.Fatalf("Label() = %q, want dirty marker", got)
 	}
 	if got := (&Baseline{}).Label(); got != "(unknown)" {
 		t.Fatalf("Label() = %q", got)
+	}
+}
+
+// TestSeriesLabels: consecutive dirty rebuilds of one revision — the CI
+// pattern that used to render two identical trend rows — get distinct
+// labels, while unique baselines keep their plain revision label.
+func TestSeriesLabels(t *testing.T) {
+	series := []Baseline{
+		{GitRevision: "aaaa000000", RecordedAt: "2026-08-01T00:00:00Z"},
+		{GitRevision: "bbbb000000", GitDirty: true, RecordedAt: "2026-08-02T10:00:00Z"},
+		{GitRevision: "bbbb000000", GitDirty: true, RecordedAt: "2026-08-02T11:00:00Z"},
+	}
+	got := SeriesLabels(series)
+	want := []string{
+		"aaaa000000",
+		"bbbb000000-dirty@2026-08-02T10:00:00Z",
+		"bbbb000000-dirty@2026-08-02T11:00:00Z",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SeriesLabels[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Even with colliding timestamps (or none at all) the labels stay
+	// distinct via the positional fallback.
+	series[1].RecordedAt, series[2].RecordedAt = "", ""
+	got = SeriesLabels(series)
+	if got[1] == got[2] {
+		t.Fatalf("timestamp-less duplicates not disambiguated: %q", got)
 	}
 }

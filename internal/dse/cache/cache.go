@@ -68,10 +68,14 @@ func Key(c *cell.Cell) string {
 
 // entry is the on-disk JSON envelope. Key is stored verbatim so Load can
 // detect a file that was renamed or written under a different address.
+// RunID records which invocation wrote the entry (provenance only — it
+// never participates in trust checks, since a cached characterization is
+// valid regardless of which run computed it).
 type entry struct {
 	Format           string                 `json:"format"`
 	Version          string                 `json:"version"`
 	Key              string                 `json:"key"`
+	RunID            string                 `json:"run_id,omitempty"`
 	Characterization *cell.Characterization `json:"characterization"`
 }
 
@@ -80,7 +84,8 @@ type entry struct {
 // are filesystem-safe. Dir is safe for concurrent use; writes go through a
 // temp-file rename so readers never observe a torn entry.
 type Dir struct {
-	dir string
+	dir   string
+	runID string
 }
 
 // Open creates the cache directory if needed and returns the store.
@@ -94,10 +99,20 @@ func Open(dir string) (*Dir, error) {
 // Path returns the directory backing the store.
 func (d *Dir) Path() string { return d.dir }
 
+// SetRunID stamps subsequent Stores with the producing run's ledger
+// identity (internal/obs/runlog). Call it at run setup, before the sweep
+// dispatches work.
+func (d *Dir) SetRunID(id string) { d.runID = id }
+
 func (d *Dir) file(key string) string {
 	sum := sha256.Sum256([]byte(key))
 	return filepath.Join(d.dir, hex.EncodeToString(sum[:])+".json")
 }
+
+// EntryPath returns the on-disk file backing the given key, whether or not
+// an entry exists there yet — the ledger uses it to digest cache artifacts
+// touched by a run.
+func (d *Dir) EntryPath(key string) string { return d.file(key) }
 
 // Load implements core.CharacterizationStore. A missing file is a plain
 // miss; a file that cannot be parsed, carries a foreign format or
@@ -144,6 +159,7 @@ func (d *Dir) Store(key string, c *cell.Characterization) error {
 		Format:           Format,
 		Version:          cell.CharacterizationVersion,
 		Key:              key,
+		RunID:            d.runID,
 		Characterization: c,
 	}, "", "  ")
 	if err != nil {

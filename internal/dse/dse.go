@@ -29,7 +29,14 @@ import (
 	"hetarch/internal/core"
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/runlog"
 	"hetarch/internal/obs/trace"
+)
+
+// Structured-log events (no-ops until the CLI installs a run logger).
+var (
+	evSweepDone        = runlog.Event("dse.sweep_done")
+	evSweepInterrupted = runlog.Event("dse.sweep_interrupted")
 )
 
 // pointWall is the per-point evaluation wall time. With a warm
@@ -194,6 +201,7 @@ func Sweep(ctx context.Context, params []core.Param, cfg Config, fn func(core.Po
 		prefix++
 	}
 	if prefix == len(points) {
+		runlog.L().Info(evSweepDone, "points", len(points), "workers", workers)
 		return out, nil
 	}
 	var cause error
@@ -204,5 +212,6 @@ func Sweep(ctx context.Context, params []core.Param, cfg Config, fn func(core.Po
 	} else {
 		cause = context.Canceled // unreachable: incomplete sweeps have an error or a dead context
 	}
+	runlog.L().Warn(evSweepInterrupted, "completed", prefix, "points", len(points), "cause", cause.Error())
 	return out[:prefix], &PartialError{Cause: cause, Completed: prefix, Points: len(points)}
 }

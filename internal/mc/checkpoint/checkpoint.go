@@ -35,13 +35,23 @@ import (
 
 	"hetarch/internal/mc"
 	"hetarch/internal/obs/recorder"
+	"hetarch/internal/obs/runlog"
 )
+
+// Structured-log events (no-ops until the CLI installs a run logger).
+var evTornTail = runlog.Event("mc.checkpoint_torn_tail")
 
 // Meta identifies the run a checkpoint belongs to. Every field that
 // changes the shard decomposition or the sampled streams participates in
 // the compatibility check.
 type Meta struct {
-	Type        string `json:"type"` // "checkpoint"
+	Type string `json:"type"` // "checkpoint"
+	// RunID is the ledger run identity of the invocation that created the
+	// checkpoint. It is provenance, not identity: a resumed run mints a new
+	// run ID but may adopt a checkpoint from an earlier one, so RunID is
+	// deliberately excluded from the compatibility check. The resuming
+	// run's ledger envelope records it as resumed_from.
+	RunID       string `json:"run_id,omitempty"`
 	Tool        string `json:"tool,omitempty"`
 	Experiment  string `json:"experiment"`
 	Scale       string `json:"scale,omitempty"` // "quick" or "full"
@@ -180,6 +190,7 @@ func Open(path string, meta Meta) (*File, error) {
 
 	if truncated {
 		// Rewrite without the torn tail so appends start on a line boundary.
+		runlog.L().Warn(evTornTail, "path", path, "shards", len(done))
 		if err := rewrite(path, prev, done); err != nil {
 			return nil, err
 		}
@@ -248,6 +259,16 @@ func record(k entryKey, v entryVal) shardRecord {
 		Shots:     v.tally.Shots,
 		Errors:    v.tally.Errors,
 	}
+}
+
+// Meta returns the identity the checkpoint was created under. For a
+// resumed file this is the original producer's meta — its RunID is the
+// run that started the campaign, which the resuming run records as its
+// ledger resumed_from.
+func (f *File) Meta() Meta {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.meta
 }
 
 // Resumed returns the number of shard tallies loaded from a pre-existing

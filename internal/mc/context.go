@@ -20,7 +20,14 @@ import (
 	"time"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/runlog"
 	"hetarch/internal/obs/trace"
+)
+
+// Structured-log events (no-ops until the CLI installs a run logger).
+var (
+	evShardFault = runlog.Event("mc.shard_fault")
+	evShardRetry = runlog.Event("mc.shard_retry")
 )
 
 // Engine telemetry: faults count recovered worker panics (one per failed
@@ -164,6 +171,7 @@ func runShard[T any](run func(Shard) T, sh Shard, attempt int, fi FaultInjector)
 	defer func() {
 		if r := recover(); r != nil {
 			shardFaults.Inc()
+			runlog.L().Warn(evShardFault, "shard", sh.Index, "seed", sh.Seed, "attempt", attempt, "panic", fmt.Sprint(r))
 			fault = &ShardFault{Shard: sh.Index, Seed: sh.Seed, Value: r, Stack: debug.Stack()}
 		}
 	}()
@@ -227,6 +235,7 @@ func MapShardsContext[T any](ctx context.Context, cfg Config, newWorker func() f
 		for attempt := 1; attempt <= 1+retries; attempt++ {
 			if attempt > 1 {
 				shardRetries.Inc()
+				runlog.L().Info(evShardRetry, "shard", sh.Index, "seed", sh.Seed, "attempt", attempt)
 				*run = newWorker()
 			}
 			v, fault := runShard(*run, sh, attempt, fi)

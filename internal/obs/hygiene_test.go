@@ -6,12 +6,18 @@ import (
 	"testing"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/runlog"
 	"hetarch/internal/obs/runtimemetrics"
 
 	// Register every package-level metric in the production codebase onto
 	// obs.Default: experiments transitively imports every instrumented
 	// subsystem (mc, dse, surface, uec, decoder, sched, stabsim, core).
 	_ "hetarch/internal/experiments"
+
+	// Register the ledger.* metrics and ledger/recorder event names, which
+	// experiments does not reach (only the CLI wires the run ledger in).
+	_ "hetarch/internal/obs/ledger"
+	_ "hetarch/internal/obs/recorder"
 )
 
 // metricName is the registry's naming convention: a lowercase package
@@ -66,5 +72,51 @@ func TestMetricNameHygiene(t *testing.T) {
 			t.Errorf("metrics %q and %q collide as %q in Prometheus exposition", name, other, flat)
 		}
 		prom[flat] = name
+	}
+}
+
+// TestEventNameHygiene sweeps every structured-log event name declared via
+// runlog.Event — the run ledger's vocabulary plus the library events in
+// recorder, checkpoint, mc, dse, and ledger — and enforces the same
+// pkg.snake_case convention as metrics, plus that no event name shadows a
+// registered metric name: a grep for "mc.shard_faults" must land on either
+// the counter or the event, never an ambiguous both.
+func TestEventNameHygiene(t *testing.T) {
+	runtimemetrics.Sample(obs.Default)
+	snap := obs.Default.Snapshot()
+	metricOf := map[string]string{}
+	for name := range snap.Counters {
+		metricOf[name] = "counter"
+	}
+	for name := range snap.Gauges {
+		metricOf[name] = "gauge"
+	}
+	for name := range snap.Histograms {
+		metricOf[name] = "histogram"
+	}
+
+	events := runlog.EventNames()
+	if len(events) < 10 {
+		t.Fatalf("only %d event names declared — the blank imports no longer pull in the instrumented packages: %v", len(events), events)
+	}
+	prefixes := map[string]bool{}
+	for _, name := range events {
+		if !metricName.MatchString(name) {
+			t.Errorf("event %q violates the pkg.snake_case convention", name)
+		}
+		if kind, dup := metricOf[name]; dup {
+			t.Errorf("event %q collides with the registered %s of the same name", name, kind)
+		}
+		prefixes[name[:strings.IndexByte(name, '.')]] = true
+	}
+	// The run.* prefix is reserved for the CLI's invocation lifecycle and
+	// must be present (runlog declares it at init).
+	if !prefixes["run"] {
+		t.Errorf("run.* lifecycle events missing from the registry: %v", events)
+	}
+	for _, want := range []string{"ledger", "recorder"} {
+		if !prefixes[want] {
+			t.Errorf("%s.* events missing — is the blank import gone?", want)
+		}
 	}
 }

@@ -30,13 +30,24 @@ import (
 	"time"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/runlog"
+)
+
+// Structured-log events (no-ops until the CLI installs a run logger).
+var (
+	evFinalized = runlog.Event("recorder.finalized")
+	evTornTail  = runlog.Event("recorder.torn_tail")
 )
 
 // Header identifies the run: what was asked for, with which seeds, built
 // from which source revision — everything needed to regenerate the figure
 // the run produced.
 type Header struct {
-	Type        string   `json:"type"` // "header"
+	Type string `json:"type"` // "header"
+	// RunID is the ledger run identity (internal/obs/runlog) of the
+	// invocation that produced this artifact, linking it back to its
+	// ledger envelope. Empty in artifacts predating the run ledger.
+	RunID       string   `json:"run_id,omitempty"`
 	Tool        string   `json:"tool"`
 	Experiment  string   `json:"experiment"`
 	Scale       string   `json:"scale"` // "quick" or "full"
@@ -207,6 +218,7 @@ func (w *FileWriter) FinalizeAtomic(fin Final) error {
 		os.Remove(tmp)
 		return err
 	}
+	runlog.L().Info(evFinalized, "path", w.path, "bytes", len(data)+len(line)+1)
 	return w.f.Close()
 }
 
@@ -286,6 +298,7 @@ func Read(r io.Reader) (*Run, error) {
 			lines = append(lines, tail)
 		} else {
 			run.Truncated = true
+			runlog.L().Warn(evTornTail, "bytes", len(tail))
 		}
 	}
 	sawHeader := false

@@ -1,0 +1,133 @@
+package runlog_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"hetarch/internal/obs/runlog"
+)
+
+// TestNewIDDeterministic: the run ID is a pure function of (time, seed) —
+// the property that lets tests (and resumed-run comparisons) pin it.
+func TestNewIDDeterministic(t *testing.T) {
+	at := time.UnixMilli(1700000000000)
+	a := runlog.NewID(at, 7)
+	b := runlog.NewID(at, 7)
+	if a != b {
+		t.Fatalf("NewID not deterministic: %q vs %q", a, b)
+	}
+	if len(a) != runlog.IDLen {
+		t.Fatalf("ID length %d, want %d", len(a), runlog.IDLen)
+	}
+	if !runlog.ValidID(a) {
+		t.Fatalf("NewID produced invalid ID %q", a)
+	}
+	if c := runlog.NewID(at, 8); c == a {
+		t.Fatalf("different seeds yielded the same ID %q", a)
+	}
+	if d := runlog.NewID(at.Add(time.Millisecond), 7); d == a {
+		t.Fatalf("different timestamps yielded the same ID %q", a)
+	}
+}
+
+// TestIDTimeRoundTrip: the timestamp half must decode back to the minting
+// millisecond, and IDs must sort lexicographically by time.
+func TestIDTimeRoundTrip(t *testing.T) {
+	at := time.UnixMilli(1700000000123)
+	id := runlog.NewID(at, 42)
+	got, err := runlog.IDTime(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(at) {
+		t.Fatalf("IDTime = %v, want %v", got, at)
+	}
+	later := runlog.NewID(at.Add(time.Second), 42)
+	if !(id < later) {
+		t.Fatalf("IDs do not sort chronologically: %q !< %q", id, later)
+	}
+}
+
+func TestIDTimeRejectsGarbage(t *testing.T) {
+	for _, id := range []string{"", "short", strings.Repeat("u", runlog.IDLen), strings.Repeat("0", runlog.IDLen-1) + "!"} {
+		if _, err := runlog.IDTime(id); err == nil {
+			t.Errorf("IDTime(%q) accepted garbage", id)
+		}
+	}
+}
+
+// TestLoggerFormats: New must produce a text handler by default and JSON
+// under "json", both stamped with the run ID; unknown formats are errors.
+func TestLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	l, err := runlog.New(&buf, runlog.FormatText, "testrunid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info(runlog.EvRunStart, "experiment", "fig9")
+	out := buf.String()
+	for _, want := range []string{"msg=run.start", "run_id=testrunid", "experiment=fig9"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output %q missing %q", out, want)
+		}
+	}
+
+	buf.Reset()
+	l, err = runlog.New(&buf, runlog.FormatJSON, "testrunid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Info(runlog.EvRunDone, "status", "ok")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json output is not JSON: %v (%q)", err, buf.String())
+	}
+	if rec["msg"] != "run.done" || rec["run_id"] != "testrunid" || rec["status"] != "ok" {
+		t.Fatalf("json record = %v", rec)
+	}
+
+	if _, err := runlog.New(&buf, "yaml", ""); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+// TestSetAndDefault: L() is a no-op logger until Set installs one, and
+// Set(nil) restores the no-op.
+func TestSetAndDefault(t *testing.T) {
+	var buf bytes.Buffer
+	runlog.L().Info("should.vanish")
+	l, _ := runlog.New(&buf, runlog.FormatText, "")
+	runlog.Set(l)
+	defer runlog.Set(nil)
+	runlog.L().Info(runlog.EvRunStart)
+	if !strings.Contains(buf.String(), "run.start") {
+		t.Fatalf("installed logger did not receive event: %q", buf.String())
+	}
+	runlog.Set(nil)
+	buf.Reset()
+	runlog.L().Info("should.vanish.too")
+	if buf.Len() != 0 {
+		t.Fatalf("no-op logger wrote %q", buf.String())
+	}
+	runlog.Set(l)
+}
+
+// TestEventRegistry: Event registers names for the hygiene sweep.
+func TestEventRegistry(t *testing.T) {
+	name := runlog.Event("runlogtest.some_event")
+	if name != "runlogtest.some_event" {
+		t.Fatalf("Event returned %q", name)
+	}
+	found := false
+	for _, n := range runlog.EventNames() {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EventNames() missing %q: %v", name, runlog.EventNames())
+	}
+}

@@ -10,6 +10,8 @@
 //	/spans          the live span tree as JSON
 //	/trace          the flight profiler's events so far as Chrome Trace
 //	                Event JSON — save and open in Perfetto/chrome://tracing
+//	/runs           the run ledger's envelopes as JSON (args, status,
+//	                headline metrics, artifact manifest per past run)
 //	/debug/pprof/*  the standard net/http/pprof handlers
 //	/               plain-text index of the above
 //
@@ -21,18 +23,23 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/ledger"
 	"hetarch/internal/obs/trace"
 )
 
 // Options selects the telemetry sources. Nil fields disable the
-// corresponding endpoints (they respond 503).
+// corresponding endpoints (they respond 503; /trace and /runs respond 404
+// — "this resource does not exist here" — so scripts piping them to a file
+// fail loudly instead of saving an empty body).
 type Options struct {
 	Registry  *obs.Registry
 	Tracer    *obs.Tracer
@@ -42,6 +49,18 @@ type Options struct {
 	// endpoint snapshots whatever has been recorded so far, so a download
 	// mid-run is valid (if partial) Chrome Trace JSON.
 	Trace *trace.Collector
+
+	// LedgerPath is the run-ledger file behind /runs ("" disables the
+	// endpoint).
+	LedgerPath string
+}
+
+// jsonError writes a machine-parseable error body, so scripts curling an
+// endpoint get {"error": ...} rather than a bare text line.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 // Handler builds the telemetry mux for the given sources.
@@ -58,6 +77,7 @@ func Handler(opts Options) http.Handler {
 		fmt.Fprintln(w, "  /progress        heartbeat JSON (?sse=1 for an SSE stream)")
 		fmt.Fprintln(w, "  /spans           span tree JSON")
 		fmt.Fprintln(w, "  /trace           flight-profiler Chrome Trace JSON (open in Perfetto)")
+		fmt.Fprintln(w, "  /runs            run-ledger envelopes JSON (past runs + artifact manifests)")
 		fmt.Fprintln(w, "  /debug/pprof/    go profiling endpoints")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -97,13 +117,39 @@ func Handler(opts Options) http.Handler {
 		w.Write(b)
 	})
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		// 404, not 200-with-empty-body: a script saving the download must
+		// fail loudly when no tracer is armed, and the JSON body tells it
+		// why.
 		if opts.Trace == nil || !opts.Trace.Enabled() && opts.Trace.Len() == 0 {
-			http.Error(w, "no trace collector (run with -trace-out or -listen)", http.StatusServiceUnavailable)
+			jsonError(w, http.StatusNotFound, "no trace armed (run with -trace-out or -listen)")
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("Content-Disposition", `attachment; filename="hetarch-trace.json"`)
 		opts.Trace.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/runs", func(w http.ResponseWriter, r *http.Request) {
+		if opts.LedgerPath == "" {
+			jsonError(w, http.StatusNotFound, "no run ledger (run with -ledger-dir)")
+			return
+		}
+		lg, err := ledger.ReadFile(opts.LedgerPath)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				lg = &ledger.Log{} // configured but nothing recorded yet
+			} else {
+				jsonError(w, http.StatusInternalServerError, err.Error())
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Runs      []ledger.Envelope `json:"runs"`
+			Truncated bool              `json:"truncated,omitempty"`
+			Skipped   int               `json:"skipped,omitempty"`
+		}{Runs: lg.Envelopes, Truncated: lg.Truncated, Skipped: lg.Skipped})
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -16,6 +16,7 @@ import (
 
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
+	"hetarch/internal/obs/ledger"
 	"hetarch/internal/obs/trace"
 )
 
@@ -140,7 +141,7 @@ func TestProgressJSONAndSSE(t *testing.T) {
 func TestDisabledEndpointsReturn503(t *testing.T) {
 	ts := httptest.NewServer(Handler(Options{}))
 	defer ts.Close()
-	for _, path := range []string{"/metrics", "/progress", "/spans", "/trace"} {
+	for _, path := range []string{"/metrics", "/progress", "/spans"} {
 		resp, err := http.Get(ts.URL + path)
 		if err != nil {
 			t.Fatal(err)
@@ -149,6 +150,74 @@ func TestDisabledEndpointsReturn503(t *testing.T) {
 		if resp.StatusCode != http.StatusServiceUnavailable {
 			t.Errorf("%s: status %d, want 503", path, resp.StatusCode)
 		}
+	}
+	// /trace and /runs are downloads: when their source is absent they must
+	// 404 with a JSON error body, so a script piping them to a file fails
+	// loudly instead of saving an empty 200.
+	for _, path := range []string{"/trace", "/runs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: body %q is not a JSON error", path, body)
+		}
+	}
+}
+
+// TestRunsEndpoint: /runs serves the ledger's envelopes as JSON, and an
+// armed-but-empty ledger path yields an empty list, not an error.
+func TestRunsEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(ledger.Envelope{RunID: "testrun123", Tool: "hetarch", Experiment: "fig9", Status: ledger.StatusOK}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	ts := httptest.NewServer(Handler(Options{LedgerPath: l.Path()}))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/runs: status %d, body %s", resp.StatusCode, body)
+	}
+	var got struct {
+		Runs []ledger.Envelope `json:"runs"`
+	}
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("/runs body is not JSON: %v", err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].RunID != "testrun123" {
+		t.Fatalf("/runs = %+v, want the one appended envelope", got.Runs)
+	}
+
+	// Configured path that does not exist yet: empty list, 200.
+	ts2 := httptest.NewServer(Handler(Options{LedgerPath: dir + "/nonexistent.jsonl"}))
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/runs (empty): status %d, body %s", resp.StatusCode, body)
 	}
 }
 

@@ -14,6 +14,10 @@ import (
 type ChromeTrace struct {
 	TraceEvents     []map[string]any `json:"traceEvents"`
 	DisplayTimeUnit string           `json:"displayTimeUnit"`
+	// OtherData is the spec's free-form metadata object; hetarch stamps
+	// the producing run's ledger ID here ("run_id") so a trace artifact is
+	// traceable back to its run envelope.
+	OtherData map[string]string `json:"otherData,omitempty"`
 }
 
 // ChromeTrace renders the events recorded so far into the JSON object
@@ -59,6 +63,9 @@ func (c *Collector) ChromeTrace() ChromeTrace {
 	})
 
 	out := ChromeTrace{DisplayTimeUnit: "ms", TraceEvents: []map[string]any{}}
+	if id := c.RunID(); id != "" {
+		out.OtherData = map[string]string{"run_id": id}
+	}
 	meta := func(name string, p int, args map[string]any, tid ...int) {
 		m := map[string]any{"name": name, "ph": "M", "pid": p, "args": args}
 		if len(tid) > 0 {

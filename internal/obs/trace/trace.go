@@ -81,6 +81,7 @@ type Collector struct {
 	dropped atomic.Int64
 	buf     atomic.Pointer[buffer]
 	base    atomic.Pointer[time.Time]
+	runID   atomic.Pointer[string]
 }
 
 // NewCollector returns a disabled collector.
@@ -105,6 +106,20 @@ func (c *Collector) Enable(capacity, sampleN int) {
 	c.sampleN.Store(int64(sampleN))
 	c.base.Store(&now)
 	c.enabled.Store(true)
+}
+
+// SetRunID stamps the collector with the producing run's ledger identity
+// (internal/obs/runlog); the Chrome export carries it in otherData so a
+// trace file is traceable back to its run envelope. Set it at run setup,
+// alongside Enable.
+func (c *Collector) SetRunID(id string) { c.runID.Store(&id) }
+
+// RunID returns the stamped run ID ("" when never set).
+func (c *Collector) RunID() string {
+	if p := c.runID.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Disable stops recording. Events recorded so far remain readable.
