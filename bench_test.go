@@ -19,6 +19,7 @@ import (
 	"hetarch/internal/distill"
 	"hetarch/internal/experiments"
 	"hetarch/internal/qec"
+	"hetarch/internal/splitmix"
 	"hetarch/internal/stabsim"
 	"hetarch/internal/surface"
 	"hetarch/internal/uec"
@@ -347,7 +348,7 @@ func BenchmarkAblationScalarVsBatchSampling(b *testing.B) {
 		}
 	})
 	b.Run("batch64", func(b *testing.B) {
-		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(1)))
+		bs := stabsim.NewBatchFrameSampler(e.Circuit, splitmix.New(1))
 		b.ResetTimer()
 		// Each iteration is normalized to one shot: run a 64-shot batch
 		// every 64 iterations.

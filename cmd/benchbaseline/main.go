@@ -2,7 +2,10 @@
 // wall time, Monte Carlo throughput (shots/sec), and per-shot cost
 // (ns/shot, allocs/shot, bytes/shot from runtime.ReadMemStats deltas) of
 // the quick-scale fig9 and table3 experiments, written as JSON to
-// BENCH_baseline.json. The artifact carries the git revision it was
+// BENCH_baseline.json. Shot-shaped experiments additionally record
+// steady_allocs_per_shot — allocations of a warm repeated run with
+// construction excluded — which the zero-alloc gate (cmd/benchtrend
+// -max-allocs) pins at 0. The artifact carries the git revision it was
 // measured at, so a series of them (cmd/benchtrend) reads as a performance
 // trajectory instead of anecdotes.
 //
@@ -33,6 +36,8 @@ import (
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/ledger"
 	"hetarch/internal/obs/runlog"
+	"hetarch/internal/qec"
+	"hetarch/internal/uec"
 )
 
 func main() {
@@ -49,19 +54,20 @@ func main() {
 	sc.Workers = *workers
 	ctx := context.Background()
 	runners := []struct {
-		name string
-		run  func()
+		name   string
+		run    func()
+		steady func(seed int64) float64 // steady-state allocs/shot, nil = not shot-shaped
 	}{
 		{"fig9", func() {
 			if _, err := experiments.Fig9(ctx, sc, *seed); err != nil {
 				fatal(err)
 			}
-		}},
+		}, steadyUEC(qec.Steane(), true, false)},
 		{"table3", func() {
 			if _, err := experiments.Table3(ctx, sc, *seed); err != nil {
 				fatal(err)
 			}
-		}},
+		}, steadyUEC(qec.TriColor5(), false, false)},
 		// dse is characterization-shaped, not shot-shaped: its entry records
 		// wall time of a cold in-memory sweep (shots stay 0), anchoring the
 		// warm-vs-cold cache benchmarks in bench_test.go.
@@ -69,7 +75,7 @@ func main() {
 			if _, err := experiments.DSE(ctx, experiments.DSEOptions{Workers: sc.Workers}); err != nil {
 				fatal(err)
 			}
-		}},
+		}, nil},
 	}
 
 	b := bench.Baseline{
@@ -85,31 +91,49 @@ func main() {
 	for _, r := range runners {
 		// Warm shared caches (lookup tables) so the measurement reflects
 		// steady-state throughput, then count shots via the obs registry and
-		// allocations via ReadMemStats deltas around the timed run.
+		// allocations via ReadMemStats deltas around the timed run. The run
+		// is deterministic, so its true cost is the fastest of a few
+		// repetitions — scheduler and GC interference only ever add time —
+		// and best-of-N keeps the quick-scale window (~10 ms) from recording
+		// a noise spike as a trend.
 		r.run()
-		before := shots()
-		var m0, m1 runtime.MemStats
-		runtime.ReadMemStats(&m0)
-		start := time.Now()
-		r.run()
-		wall := time.Since(start).Seconds()
-		runtime.ReadMemStats(&m1)
-		n := shots() - before
-		e := bench.Entry{
-			Experiment:  r.name,
-			Scale:       "quick",
-			Shots:       n,
-			WallSeconds: round(wall),
-			ShotsPerSec: round(float64(n) / wall),
+		var e bench.Entry
+		bestWall := 0.0
+		for rep := 0; rep < benchReps; rep++ {
+			before := shots()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			r.run()
+			wall := time.Since(start).Seconds()
+			runtime.ReadMemStats(&m1)
+			n := shots() - before
+			if rep > 0 && wall >= bestWall {
+				continue
+			}
+			bestWall = wall
+			e = bench.Entry{
+				Experiment:  r.name,
+				Scale:       "quick",
+				Shots:       n,
+				WallSeconds: round(wall),
+				ShotsPerSec: round(float64(n) / wall),
+			}
+			if n > 0 {
+				e.NsPerShot = round(wall * 1e9 / float64(n))
+				e.AllocsPerShot = round(float64(m1.Mallocs-m0.Mallocs) / float64(n))
+				e.BytesPerShot = round(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n))
+			}
 		}
-		if n > 0 {
-			e.NsPerShot = round(wall * 1e9 / float64(n))
-			e.AllocsPerShot = round(float64(m1.Mallocs-m0.Mallocs) / float64(n))
-			e.BytesPerShot = round(float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n))
+		steadyNote := ""
+		if r.steady != nil {
+			sa := round(r.steady(*seed))
+			e.SteadyAllocsPerShot = &sa
+			steadyNote = fmt.Sprintf(", %.3f steady allocs/shot", sa)
 		}
 		b.Entries = append(b.Entries, e)
-		fmt.Fprintf(os.Stderr, "%s: %d shots in %.2fs (%.0f shots/sec, %.0f ns/shot, %.2f allocs/shot)\n",
-			r.name, n, wall, e.ShotsPerSec, e.NsPerShot, e.AllocsPerShot)
+		fmt.Fprintf(os.Stderr, "%s: %d shots in %.2fs (%.0f shots/sec, %.0f ns/shot, %.2f allocs/shot%s)\n",
+			r.name, e.Shots, e.WallSeconds, e.ShotsPerSec, e.NsPerShot, e.AllocsPerShot, steadyNote)
 	}
 
 	f, err := os.Create(*out)
@@ -172,6 +196,39 @@ func appendLedger(dirFlag, runID string, b *bench.Baseline, out string, seed int
 	e.Artifacts = append(e.Artifacts, a)
 	if err := led.Append(e); err != nil {
 		fmt.Fprintln(os.Stderr, "benchbaseline: warning:", err)
+	}
+}
+
+// benchReps is the best-of-N repetition count for the timed runs.
+const benchReps = 3
+
+// steadyAllocShots sizes the steady-state measurement run: large enough
+// that the per-run worker setup (a few dozen allocations) amortizes below
+// the 3-decimal rounding of the artifact, so a genuinely allocation-free
+// hot path records 0.000 — while one allocation per 64-shot batch would
+// still surface as ~0.016.
+const steadyAllocShots = 1 << 19
+
+// steadyUEC returns a closure measuring the steady-state allocations per
+// shot of the UEC module hot path on the given code at Ts = 50 ms: the
+// experiment is constructed and warmed up first, so the measured run sees
+// only the bit-parallel sample + sparse transpose + lookup-decode loop
+// (plus amortized worker setup) — construction is excluded by design.
+// Serial (one worker) so scheduler allocations never pollute the count.
+func steadyUEC(code *qec.Code, het, native bool) func(seed int64) float64 {
+	return func(seed int64) float64 {
+		p := uec.DefaultParams(code, 50, het)
+		p.NativePlacement = native
+		e, err := uec.New(p)
+		if err != nil {
+			fatal(err)
+		}
+		e.RunSharded(steadyAllocShots/8, seed, 1) // warm-up: grow all arenas
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		e.RunSharded(steadyAllocShots, seed, 1)
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(steadyAllocShots)
 	}
 }
 

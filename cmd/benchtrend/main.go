@@ -8,15 +8,23 @@
 // and then compares the newest baseline against the previous one: a
 // shots/sec drop beyond the tolerance is a regression.
 //
+// Beyond the drop gate, two assertion flags turn the trend into a
+// requirement: -min-gain G demands the newest baseline's shots/sec be at
+// least G times the oldest baseline's for every experiment present in
+// both (pinning a claimed speedup so it cannot silently erode), and
+// -max-allocs A demands every steady_allocs_per_shot metric in the newest
+// baseline be at most A (A=0 pins the hot path allocation-free).
+//
 // Usage:
 //
-//	benchtrend [-tol 0.2] [-report-only] FILE...
+//	benchtrend [-tol 0.2] [-min-gain G] [-max-allocs A] [-report-only] FILE...
 //
 // Files are read oldest-first; the last baseline of the last file is "the
 // newest". Exit codes (the CI contract, shared with cmd/obsdiff):
 //
 //	0  trend printed, no regression (always, under -report-only)
-//	1  newest baseline regressed against its predecessor
+//	1  newest baseline regressed against its predecessor, or failed a
+//	   -min-gain / -max-allocs assertion
 //	2  usage error or unreadable artifact
 package main
 
@@ -39,6 +47,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchtrend", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	tol := fs.Float64("tol", 0.2, "allowed relative shots/sec drop before flagging")
+	minGain := fs.Float64("min-gain", 0, "require newest shots/sec >= this multiple of the oldest baseline's (0 = off)")
+	maxAllocs := fs.Float64("max-allocs", -1, "require newest steady allocs/shot <= this (negative = off)")
 	reportOnly := fs.Bool("report-only", false, "print the trend but exit 0 even on regression")
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: benchtrend [flags] FILE...")
@@ -63,8 +73,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	printTrend(stdout, series)
-	regressions := gate(stdout, series, *tol)
-	if *reportOnly || regressions == 0 {
+	failures := gate(stdout, series, *tol)
+	if *minGain > 0 {
+		failures += gateMinGain(stdout, series, *minGain)
+	}
+	if *maxAllocs >= 0 {
+		failures += gateMaxAllocs(stdout, series, *maxAllocs)
+	}
+	if *reportOnly || failures == 0 {
 		return 0
 	}
 	return 1
@@ -95,7 +111,7 @@ func printTrend(w io.Writer, series []bench.Baseline) {
 	for _, name := range experimentsIn(series) {
 		fmt.Fprintf(w, "== %s ==\n", name)
 		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-		fmt.Fprintln(tw, "revision\tshots/sec\tns/shot\tallocs/shot\tdelta")
+		fmt.Fprintln(tw, "revision\tshots/sec\tns/shot\tallocs/shot\tsteady\tdelta")
 		prev := 0.0
 		for i, b := range series {
 			e := b.Entry(name)
@@ -106,9 +122,13 @@ func printTrend(w io.Writer, series []bench.Baseline) {
 			if prev > 0 && e.ShotsPerSec > 0 {
 				delta = fmt.Sprintf("%+.1f%%", 100*(e.ShotsPerSec/prev-1))
 			}
-			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n",
+			steady := "-"
+			if e.SteadyAllocsPerShot != nil {
+				steady = fmt.Sprintf("%.3f", *e.SteadyAllocsPerShot)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n",
 				labels[i], num(e.ShotsPerSec, "%.0f"), num(e.NsPerShot, "%.0f"),
-				num(e.AllocsPerShot, "%.2f"), delta)
+				num(e.AllocsPerShot, "%.2f"), steady, delta)
 			if e.ShotsPerSec > 0 {
 				prev = e.ShotsPerSec
 			}
@@ -123,6 +143,74 @@ func num(v float64, format string) string {
 		return "-"
 	}
 	return fmt.Sprintf(format, v)
+}
+
+// gateMinGain asserts the newest baseline's shots/sec is at least minGain
+// times the oldest baseline's, per experiment measured in both. It returns
+// the number of failures — including the degenerate series where no
+// experiment is comparable at all, so a malformed history cannot silently
+// pass a gate that was explicitly requested.
+func gateMinGain(w io.Writer, series []bench.Baseline, minGain float64) int {
+	if len(series) < 2 {
+		fmt.Fprintf(w, "min-gain: FAIL — only one baseline, nothing to compare against\n")
+		return 1
+	}
+	labels := bench.SeriesLabels(series)
+	old, new := &series[0], &series[len(series)-1]
+	fmt.Fprintf(w, "min-gain: %s -> %s (require >= %.2fx)\n", labels[0], labels[len(series)-1], minGain)
+	failures, compared := 0, 0
+	for _, name := range experimentsIn(series) {
+		oe, ne := old.Entry(name), new.Entry(name)
+		if oe == nil || ne == nil || oe.ShotsPerSec == 0 || ne.ShotsPerSec == 0 {
+			continue
+		}
+		compared++
+		gain := ne.ShotsPerSec / oe.ShotsPerSec
+		if gain < minGain {
+			failures++
+			fmt.Fprintf(w, "FAIL        %-10s %.2fx (%.0f -> %.0f shots/sec, need %.2fx)\n",
+				name, gain, oe.ShotsPerSec, ne.ShotsPerSec, minGain)
+		} else {
+			fmt.Fprintf(w, "ok          %-10s %.2fx (%.0f -> %.0f shots/sec)\n",
+				name, gain, oe.ShotsPerSec, ne.ShotsPerSec)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(w, "min-gain: FAIL — no experiment measured in both the oldest and newest baseline")
+		return 1
+	}
+	return failures
+}
+
+// gateMaxAllocs asserts every steady_allocs_per_shot metric in the newest
+// baseline is at most maxAllocs. Entries without the metric are skipped,
+// but a newest baseline carrying none at all fails: requesting the
+// zero-alloc gate against an artifact that never measured steady-state
+// allocations is a configuration error, not a pass.
+func gateMaxAllocs(w io.Writer, series []bench.Baseline, maxAllocs float64) int {
+	labels := bench.SeriesLabels(series)
+	new := &series[len(series)-1]
+	fmt.Fprintf(w, "max-allocs: %s (require steady allocs/shot <= %.3f)\n", labels[len(series)-1], maxAllocs)
+	failures, measured := 0, 0
+	for _, e := range new.Entries {
+		if e.SteadyAllocsPerShot == nil {
+			continue
+		}
+		measured++
+		if *e.SteadyAllocsPerShot > maxAllocs {
+			failures++
+			fmt.Fprintf(w, "FAIL        %-10s %.3f steady allocs/shot (limit %.3f)\n",
+				e.Experiment, *e.SteadyAllocsPerShot, maxAllocs)
+		} else {
+			fmt.Fprintf(w, "ok          %-10s %.3f steady allocs/shot\n",
+				e.Experiment, *e.SteadyAllocsPerShot)
+		}
+	}
+	if measured == 0 {
+		fmt.Fprintln(w, "max-allocs: FAIL — newest baseline has no steady allocs/shot metrics")
+		return 1
+	}
+	return failures
 }
 
 // gate compares the newest baseline against its predecessor and returns

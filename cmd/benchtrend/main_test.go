@@ -38,6 +38,21 @@ func baseline(rev string, fig9, table3 float64) bench.Baseline {
 	}
 }
 
+// withSteady returns a copy of b whose entries carry the given
+// steady_allocs_per_shot values (one per entry, NaN meaning "not measured").
+func withSteady(b bench.Baseline, steady ...float64) bench.Baseline {
+	entries := make([]bench.Entry, len(b.Entries))
+	copy(entries, b.Entries)
+	for i := range entries {
+		if i < len(steady) && steady[i] == steady[i] { // skip NaN
+			v := steady[i]
+			entries[i].SteadyAllocsPerShot = &v
+		}
+	}
+	b.Entries = entries
+	return b
+}
+
 func TestUsageErrors(t *testing.T) {
 	cases := [][]string{
 		nil,                            // no files
@@ -173,6 +188,107 @@ func TestSingleBaselineGatesNothing(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "nothing to compare") {
 		t.Fatalf("missing single-baseline note:\n%s", stdout.String())
+	}
+}
+
+// TestMinGainGate pins the -min-gain assertion: newest-vs-oldest per
+// experiment, failing on an eroded speedup, a single-baseline series, or a
+// series where nothing is comparable — the gate must never silently pass
+// when the data cannot support the claim it was asked to check.
+func TestMinGainGate(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", baseline("aaaa000000", 1000, 500))
+	fast := writeBaseline(t, dir, "fast.json", baseline("bbbb000000", 2500, 1100)) // 2.5x / 2.2x
+	slow := writeBaseline(t, dir, "slow.json", baseline("cccc000000", 2500, 900))  // 2.5x / 1.8x
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-min-gain", "2.0", old, fast}, &stdout, &stderr); got != 0 {
+		t.Fatalf("2.5x/2.2x series exited %d, want 0\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok          fig9       2.50x") {
+		t.Fatalf("gain not reported:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{"-min-gain", "2.0", old, slow}, &stdout, &stderr); got != 1 {
+		t.Fatalf("eroded table3 gain exited %d, want 1\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL        table3     1.80x") {
+		t.Fatalf("erosion not reported:\n%s", stdout.String())
+	}
+
+	// The gate compares endpoints, so an intermediate slow baseline between
+	// two good ones is history, not a failure.
+	stdout.Reset()
+	if got := run([]string{"-min-gain", "2.0", old, slow, fast}, &stdout, &stderr); got != 0 {
+		t.Fatalf("recovered endpoints exited %d, want 0\n%s", got, stdout.String())
+	}
+
+	// Degenerate inputs fail rather than pass vacuously.
+	stdout.Reset()
+	if got := run([]string{"-min-gain", "2.0", old}, &stdout, &stderr); got != 1 {
+		t.Fatalf("single baseline under -min-gain exited %d, want 1\n%s", got, stdout.String())
+	}
+	disjoint := bench.Baseline{
+		RecordedAt: "2026-08-03T00:00:00Z", GitRevision: "dddd000000", Workers: 1,
+		Entries: []bench.Entry{{Experiment: "fig6", Scale: "quick", Shots: 1000,
+			WallSeconds: 1, ShotsPerSec: 800}},
+	}
+	none := writeBaseline(t, dir, "none.json", disjoint)
+	stdout.Reset()
+	if got := run([]string{"-min-gain", "2.0", none, fast}, &stdout, &stderr); got != 1 {
+		t.Fatalf("incomparable series exited %d, want 1\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no experiment measured in both") {
+		t.Fatalf("incomparable series not explained:\n%s", stdout.String())
+	}
+}
+
+// TestMaxAllocsGate pins the -max-allocs assertion over the newest
+// baseline's steady_allocs_per_shot metrics: 0.0 passes -max-allocs 0, any
+// positive value fails it, and a baseline that never measured steady
+// allocations fails instead of vacuously passing.
+func TestMaxAllocsGate(t *testing.T) {
+	nan := func() float64 { var z float64; return 0 / z }()
+	dir := t.TempDir()
+	old := writeBaseline(t, dir, "old.json", baseline("aaaa000000", 1000, 500))
+	clean := writeBaseline(t, dir, "clean.json", withSteady(baseline("bbbb000000", 2500, 1100), 0, 0))
+	leaky := writeBaseline(t, dir, "leaky.json", withSteady(baseline("cccc000000", 2500, 1100), 0, 0.25))
+	unmeasured := writeBaseline(t, dir, "unmeasured.json", withSteady(baseline("dddd000000", 2500, 1100), nan, nan))
+
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-max-allocs", "0", old, clean}, &stdout, &stderr); got != 0 {
+		t.Fatalf("zero-alloc baseline exited %d, want 0\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "ok          fig9       0.000 steady allocs/shot") {
+		t.Fatalf("steady metric not reported:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{"-max-allocs", "0", old, leaky}, &stdout, &stderr); got != 1 {
+		t.Fatalf("0.25 allocs/shot exited %d, want 1\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "FAIL        table3     0.250 steady allocs/shot") {
+		t.Fatalf("leak not reported:\n%s", stdout.String())
+	}
+
+	// Only the newest baseline is gated: historical leaks don't fail.
+	stdout.Reset()
+	if got := run([]string{"-max-allocs", "0", leaky, clean}, &stdout, &stderr); got != 0 {
+		t.Fatalf("historical leak exited %d, want 0\n%s", got, stdout.String())
+	}
+
+	stdout.Reset()
+	if got := run([]string{"-max-allocs", "0", old, unmeasured}, &stdout, &stderr); got != 1 {
+		t.Fatalf("unmeasured baseline exited %d, want 1\n%s", got, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "no steady allocs/shot metrics") {
+		t.Fatalf("unmeasured baseline not explained:\n%s", stdout.String())
+	}
+
+	// The trend table renders the measured values alongside the history.
+	if !strings.Contains(stdout.String(), "steady") {
+		t.Fatalf("trend table missing steady column:\n%s", stdout.String())
 	}
 }
 

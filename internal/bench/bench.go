@@ -29,6 +29,16 @@ type Entry struct {
 	NsPerShot     float64 `json:"ns_per_shot,omitempty"`
 	AllocsPerShot float64 `json:"allocs_per_shot,omitempty"`
 	BytesPerShot  float64 `json:"bytes_per_shot,omitempty"`
+
+	// SteadyAllocsPerShot is the steady-state allocation count per shot:
+	// the experiment is constructed and warmed up once, then a second run
+	// is measured, so one-time construction (circuits, lookup tables,
+	// decoder arenas) is excluded and only the sample+decode hot path plus
+	// amortized per-run worker setup remains. This is the metric the
+	// zero-alloc gate (benchtrend -max-allocs) pins. A pointer so that a
+	// measured 0.0 — the whole point — survives JSON round-trips distinct
+	// from "not measured" (nil, rendered "-" and skipped by the gate).
+	SteadyAllocsPerShot *float64 `json:"steady_allocs_per_shot,omitempty"`
 }
 
 // Baseline is one benchmark run: host facts plus per-experiment entries.

@@ -2,8 +2,8 @@ package codetelep
 
 import (
 	"math/bits"
-	"math/rand"
 
+	"hetarch/internal/splitmix"
 	"hetarch/internal/stabsim"
 )
 
@@ -132,7 +132,7 @@ func SimulateCatGen(p CatGenParams) CatGenResult {
 	c.M(all...)
 	c.Observable(0, recs...)
 
-	rng := rand.New(rand.NewSource(p.Seed))
+	rng := splitmix.New(p.Seed)
 	bs := stabsim.NewBatchFrameSampler(c, rng)
 	res := CatGenResult{Shots: p.Shots}
 	for done := 0; done < p.Shots; done += 64 {

@@ -1,0 +1,194 @@
+package decoder
+
+import (
+	"testing"
+
+	"hetarch/internal/splitmix"
+)
+
+// sectorGraph builds the space–time matching graph of one basis sector of a
+// distance-d code over the given number of detector layers — the same shape
+// internal/surface builds (time-like measurement edges, space-like data
+// edges, boundary edges where a data qubit touches a single stabilizer,
+// observable mask on the logical cut) without the import cycle that using
+// surface.Experiment from this package would create.
+func sectorGraph(d, layers int) *Graph {
+	numStabs := d - 1
+	g := &Graph{NumNodes: numStabs * layers}
+	node := func(stab, layer int) int { return layer*numStabs + stab }
+	for s := 0; s < numStabs; s++ {
+		for r := 0; r+1 < layers; r++ {
+			g.Edges = append(g.Edges, Edge{U: node(s, r), V: node(s, r+1)})
+		}
+	}
+	for r := 0; r < layers; r++ {
+		// Data qubit 0 crosses the logical cut and touches only stabilizer 0.
+		g.Edges = append(g.Edges, Edge{U: node(0, r), V: Boundary, ObsMask: 1})
+		for q := 1; q < d-1; q++ {
+			g.Edges = append(g.Edges, Edge{U: node(q-1, r), V: node(q, r)})
+		}
+		g.Edges = append(g.Edges, Edge{U: node(numStabs-1, r), V: Boundary})
+	}
+	return g
+}
+
+// randomGraph builds an arbitrary matching graph: random pair edges, some
+// boundary edges, random observable masks, possibly disconnected — the
+// stress shape for the growth/peel equivalence.
+func randomGraph(rng *splitmix.RNG, nodes, edges int) *Graph {
+	g := &Graph{NumNodes: nodes}
+	for i := 0; i < edges; i++ {
+		u := int(rng.Uint64() % uint64(nodes))
+		v := Boundary
+		if rng.Float64() > 0.25 {
+			v = int(rng.Uint64() % uint64(nodes))
+			if v == u {
+				v = Boundary
+			}
+		}
+		g.Edges = append(g.Edges, Edge{U: u, V: v, ObsMask: rng.Uint64() & 3})
+	}
+	return g
+}
+
+// randomDefectWords fills words with random detector events at roughly the
+// given per-detector probability, allocation-free.
+func randomDefectWords(rng *splitmix.RNG, words []uint64, density int) {
+	for i := range words {
+		w := rng.Uint64()
+		for k := 1; k < density; k++ {
+			w &= rng.Uint64()
+		}
+		words[i] = w
+	}
+}
+
+// TestSparseDecoderMatchesReference pins the rewritten sparse decoder to
+// the historical dense implementation (reference_test.go) on 10k randomized
+// shots per graph: every prediction must agree bit for bit, through all
+// three entry points (dense Decode, DecodeBits, DecodeBatch) and with the
+// decoder instance reused across shots so the epoch-stamped scratch is
+// exercised the way the shard runners use it.
+func TestSparseDecoderMatchesReference(t *testing.T) {
+	rng := splitmix.New(11)
+	graphs := map[string]*Graph{
+		"sector-d5":  sectorGraph(5, 6),
+		"sector-d9":  sectorGraph(9, 10),
+		"sector-d13": sectorGraph(13, 14),
+		"random-32":  randomGraph(rng, 32, 64),
+		"random-7":   randomGraph(rng, 7, 9),
+	}
+	const shots = 10000
+	for name, g := range graphs {
+		t.Run(name, func(t *testing.T) {
+			ref := newRefUnionFind(g)
+			u := NewUnionFind(g)
+			words := make([]uint64, g.NumNodes)
+			preds := make([]uint64, 64)
+			dense := make([]bool, g.NumNodes)
+			for done := 0; done < shots; done += 64 {
+				randomDefectWords(rng, words, 3)
+				u.DecodeBatch(words, 64, preds)
+				for s := 0; s < 64; s++ {
+					for d := range dense {
+						dense[d] = words[d]>>uint(s)&1 == 1
+					}
+					want := ref.Decode(dense)
+					if preds[s] != want {
+						t.Fatalf("shot %d: DecodeBatch=%d reference=%d", done+s, preds[s], want)
+					}
+					if got := u.DecodeBits(words, s); got != want {
+						t.Fatalf("shot %d: DecodeBits=%d reference=%d", done+s, got, want)
+					}
+					if got := u.Decode(dense); got != want {
+						t.Fatalf("shot %d: Decode=%d reference=%d", done+s, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSparseDecoderFreshVsReused guards the epoch reset: a long-lived
+// decoder that has seen many shots must predict exactly like a freshly
+// constructed one on the same pattern.
+func TestSparseDecoderFreshVsReused(t *testing.T) {
+	g := sectorGraph(7, 8)
+	rng := splitmix.New(5)
+	aged := NewUnionFind(g)
+	words := make([]uint64, g.NumNodes)
+	preds := make([]uint64, 64)
+	for i := 0; i < 64; i++ {
+		randomDefectWords(rng, words, 2)
+		aged.DecodeBatch(words, 64, preds)
+	}
+	for i := 0; i < 16; i++ {
+		randomDefectWords(rng, words, 2)
+		aged.DecodeBatch(words, 64, preds)
+		fresh := NewUnionFind(g)
+		fpreds := make([]uint64, 64)
+		fresh.DecodeBatch(words, 64, fpreds)
+		for s := 0; s < 64; s++ {
+			if preds[s] != fpreds[s] {
+				t.Fatalf("batch %d shot %d: aged=%d fresh=%d", i, s, preds[s], fpreds[s])
+			}
+		}
+	}
+}
+
+// TestDecodeSteadyStateZeroAllocs is the allocation gate for the decoder
+// core: after warm-up, decoding allocates nothing — per 64-shot batch, per
+// dense Decode, per DecodeBits call — on sector graphs from d=5 to d=13.
+// The measured runs replay the warm-up's RNG stream, so arena capacities
+// are provably at their high-water mark when counting starts.
+func TestDecodeSteadyStateZeroAllocs(t *testing.T) {
+	for d := 5; d <= 13; d += 2 {
+		g := sectorGraph(d, d+1)
+		u := NewUnionFind(g)
+		words := make([]uint64, g.NumNodes)
+		preds := make([]uint64, 64)
+		dense := make([]bool, g.NumNodes)
+		defects := 0
+
+		const runs = 64
+		batch := func() {
+			randomDefectWords(splitmixShared, words, 3)
+			u.DecodeBatch(words, 64, preds)
+		}
+		one := func() {
+			randomDefectWords(splitmixShared, words, 3)
+			for i := range dense {
+				dense[i] = words[i]&1 == 1
+				if dense[i] {
+					defects++
+				}
+			}
+			if u.Decode(dense) != u.DecodeBits(words, 0) {
+				t.Fatal("entry points disagree")
+			}
+		}
+
+		splitmixShared.Seed(int64(d))
+		for i := 0; i < runs+1; i++ {
+			batch()
+		}
+		splitmixShared.Seed(int64(d))
+		if avg := testing.AllocsPerRun(runs, batch); avg != 0 {
+			t.Errorf("d=%d: DecodeBatch allocates %.2f per 64-shot batch, want 0", d, avg)
+		}
+
+		splitmixShared.Seed(int64(d) + 100)
+		for i := 0; i < runs+1; i++ {
+			one()
+		}
+		splitmixShared.Seed(int64(d) + 100)
+		if avg := testing.AllocsPerRun(runs, one); avg != 0 {
+			t.Errorf("d=%d: Decode/DecodeBits allocates %.2f per shot, want 0", d, avg)
+		}
+	}
+}
+
+// splitmixShared backs the allocation tests: package-level so the measured
+// closures draw randomness without capturing a fresh generator (and without
+// any allocation attributable to the run itself).
+var splitmixShared = splitmix.New(1)

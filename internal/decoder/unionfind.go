@@ -2,13 +2,18 @@ package decoder
 
 import (
 	"fmt"
+	"math/bits"
 
 	"hetarch/internal/obs"
 )
 
-// ufDecodes counts UnionFind.Decode invocations; decodes cost microseconds
-// against this one atomic add.
-var ufDecodes = obs.C("decoder.unionfind.decodes")
+// Decode telemetry: one atomic add per shot, plus a defects-per-shot
+// histogram — the distribution that explains decoder cost (union–find is
+// almost-linear in defects, not graph size).
+var (
+	ufDecodes = obs.C("decoder.unionfind.decodes")
+	ufDefects = obs.H("decoder.unionfind.defects_per_shot")
+)
 
 // Boundary is the virtual node index representing the open boundary of a
 // matching graph. Defect chains may terminate on it at the cost of the
@@ -45,18 +50,39 @@ func (g *Graph) Validate() error {
 
 // UnionFind is the Delfosse–Nickerson union–find decoder over a matching
 // graph. It achieves near-matching accuracy on surface-code graphs at
-// almost-linear cost, which is what lets the Fig. 6/7 experiments run
-// Monte Carlo at distance 13+.
+// almost-linear cost — in the number of *defects*, not the graph size,
+// which is what lets the Fig. 6/7 experiments run Monte Carlo at distance
+// 13+ where shots with zero or one defect dominate.
 //
-// The decoder is reusable: Decode may be called repeatedly with different
-// defect patterns.
+// Sparsity rests on two mechanisms:
+//
+//   - Epoch-stamped scratch. Every per-decode array (cluster forest,
+//     growth, peel state) carries a generation stamp; "resetting" for the
+//     next shot is a single counter bump, and state is lazily initialized
+//     the first time a node or edge is touched in a given decode. A shot
+//     with d defects therefore costs O(cluster area around the defects),
+//     never O(NumNodes + Edges).
+//   - Arena slices. All transient lists (active roots, odd roots, grown
+//     edges, BFS queue/order) live on the decoder and are reused across
+//     calls, so steady-state decoding performs zero allocations.
+//
+// The decoder is reusable: Decode/DecodeBits/DecodeBatch may be called
+// repeatedly with different defect patterns. It is not safe for concurrent
+// use; mc workers each hold a Clone.
 type UnionFind struct {
 	g *Graph
 	// adjacency: per node, incident edge indices (boundary edges included on
 	// their real endpoint)
 	adj [][]int
 
-	// per-Decode state, reset each call
+	// epoch is the decode generation. A node or edge whose stamp differs
+	// from it is in its pristine start-of-decode state; touchNode/touchEdge
+	// initialize lazily on first contact.
+	epoch     uint64
+	nodeEpoch []uint64
+	edgeEpoch []uint64
+
+	// cluster state, valid where nodeEpoch/edgeEpoch == epoch
 	parent   []int
 	size     []int
 	parity   []int  // defect count mod 2 per cluster root
@@ -64,8 +90,33 @@ type UnionFind struct {
 	growth   []int  // per-edge growth 0..2
 	onTree   []bool // edge fully grown
 	// edgeList[root] holds the indices of edges incident to the cluster;
-	// merged on union so growth never rescans the whole graph.
+	// merged on union so growth never rescans the whole graph. Slots keep
+	// their capacity across decodes.
 	edgeList [][]int
+
+	// growth-phase arenas
+	defects   []int    // scratch defect list for the dense/bit entry points
+	active    []int    // cluster representatives, first-defect order
+	oddRoots  []int    // odd, boundary-free roots for the current round
+	treeEdges []int    // edges grown to 2 this decode, in growth order
+	seenGen   uint64   // generation for seenStamp
+	seenStamp []uint64 // per-node dedup stamp for odd/active recomputation
+
+	// peel arenas, valid where peelEpoch == epoch
+	peelEpoch    []uint64
+	visited      []bool
+	defNow       []bool
+	parentEdge   []int
+	boundaryEdge []int
+	bSeed        []int // grown boundary edges, sorted by index
+	rootCand     []int // candidate BFS roots, sorted by node index
+	order        []int
+	queue        []int // BFS ring: qHead indexes the next pop, so the arena's
+	qHead        int   // backing array is reused instead of sliced away
+
+	// batchDefects[s] is shot s's defect list, rebuilt by DecodeBatch's
+	// one-pass transpose of the packed detector words.
+	batchDefects [64][]int
 }
 
 // NewUnionFind builds a decoder for the graph.
@@ -81,6 +132,8 @@ func NewUnionFind(g *Graph) *UnionFind {
 			u.adj[e.V] = append(u.adj[e.V], i)
 		}
 	}
+	u.nodeEpoch = make([]uint64, g.NumNodes)
+	u.edgeEpoch = make([]uint64, len(g.Edges))
 	u.parent = make([]int, g.NumNodes)
 	u.size = make([]int, g.NumNodes)
 	u.parity = make([]int, g.NumNodes)
@@ -88,18 +141,74 @@ func NewUnionFind(g *Graph) *UnionFind {
 	u.growth = make([]int, len(g.Edges))
 	u.onTree = make([]bool, len(g.Edges))
 	u.edgeList = make([][]int, g.NumNodes)
+	u.seenStamp = make([]uint64, g.NumNodes)
+	u.peelEpoch = make([]uint64, g.NumNodes)
+	u.visited = make([]bool, g.NumNodes)
+	u.defNow = make([]bool, g.NumNodes)
+	u.parentEdge = make([]int, g.NumNodes)
+	u.boundaryEdge = make([]int, g.NumNodes)
 	return u
 }
 
 // Clone returns an independent decoder over the same (shared, read-only)
-// graph. Decode mutates per-call scratch (cluster forest, growth fronts), so
-// each mc worker needs its own instance; a fresh build is equivalent to a
-// deep copy because Decode resets all scratch on entry.
+// graph. Decode mutates per-call scratch (cluster forest, growth fronts,
+// arenas), so each mc worker needs its own instance; a fresh build is
+// equivalent to a deep copy because all scratch is epoch-invalidated.
 func (u *UnionFind) Clone() *UnionFind {
 	return NewUnionFind(u.g)
 }
 
+// touchNode lazily initializes node i's cluster state for the current
+// decode: a singleton, even-parity, boundary-free cluster whose edge list
+// is its adjacency (the slot's capacity is recycled across decodes).
+func (u *UnionFind) touchNode(i int) {
+	if u.nodeEpoch[i] == u.epoch {
+		return
+	}
+	u.nodeEpoch[i] = u.epoch
+	u.parent[i] = i
+	u.size[i] = 1
+	u.parity[i] = 0
+	u.boundary[i] = false
+	u.edgeList[i] = append(u.edgeList[i][:0], u.adj[i]...)
+}
+
+// touchEdge lazily initializes edge ei's growth state for the current
+// decode.
+func (u *UnionFind) touchEdge(ei int) {
+	if u.edgeEpoch[ei] == u.epoch {
+		return
+	}
+	u.edgeEpoch[ei] = u.epoch
+	u.growth[ei] = 0
+	u.onTree[ei] = false
+}
+
+// isOnTree reports whether edge ei was fully grown in the current decode,
+// without stamping untouched edges.
+func (u *UnionFind) isOnTree(ei int) bool {
+	return u.edgeEpoch[ei] == u.epoch && u.onTree[ei]
+}
+
+// grownFull reports whether edge ei has reached full growth this decode.
+func (u *UnionFind) grownFull(ei int) bool {
+	return u.edgeEpoch[ei] == u.epoch && u.growth[ei] >= 2
+}
+
+// touchPeel lazily initializes node i's peel-phase state.
+func (u *UnionFind) touchPeel(i int) {
+	if u.peelEpoch[i] == u.epoch {
+		return
+	}
+	u.peelEpoch[i] = u.epoch
+	u.visited[i] = false
+	u.defNow[i] = false
+	u.parentEdge[i] = -1
+	u.boundaryEdge[i] = -1
+}
+
 func (u *UnionFind) find(x int) int {
+	u.touchNode(x)
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]]
 		x = u.parent[x]
@@ -121,58 +230,133 @@ func (u *UnionFind) union(a, b int) int {
 	u.parity[ra] = (u.parity[ra] + u.parity[rb]) % 2
 	u.boundary[ra] = u.boundary[ra] || u.boundary[rb]
 	u.edgeList[ra] = append(u.edgeList[ra], u.edgeList[rb]...)
-	u.edgeList[rb] = nil
+	u.edgeList[rb] = u.edgeList[rb][:0] // keep the slot's capacity
 	return ra
 }
 
-// Decode takes the defect pattern (one bool per node) and returns the
-// predicted logical observable flips of the minimum-ish-weight correction.
+// Decode takes the dense defect pattern (one bool per node) and returns
+// the predicted logical observable flips of the minimum-ish-weight
+// correction. It is the reference entry point: it gathers the set indices
+// and delegates to the sparse core, so dense callers (tests, the CHP
+// cross-validation oracle) and the packed entry points below exercise the
+// identical algorithm.
 func (u *UnionFind) Decode(defects []bool) uint64 {
-	ufDecodes.Inc()
 	if len(defects) != u.g.NumNodes {
 		panic("decoder: defect vector length mismatch")
 	}
-	// reset state
-	for i := 0; i < u.g.NumNodes; i++ {
-		u.parent[i] = i
-		u.size[i] = 1
-		u.boundary[i] = false
-		if defects[i] {
-			u.parity[i] = 1
-		} else {
-			u.parity[i] = 0
-		}
-		u.edgeList[i] = append(u.edgeList[i][:0], u.adj[i]...)
-	}
-	for i := range u.growth {
-		u.growth[i] = 0
-		u.onTree[i] = false
-	}
-
-	// Active clusters: roots with odd parity and no boundary contact.
-	active := []int{}
+	u.defects = u.defects[:0]
 	for i, d := range defects {
 		if d {
-			active = append(active, i)
+			u.defects = append(u.defects, i)
 		}
+	}
+	return u.decode(u.defects)
+}
+
+// DecodeBits decodes one shot of a packed detector batch: words[d] bit
+// `shot` is detector d's event, the layout of stabsim.BatchResult. The
+// defect list is gathered with single-bit tests — no dense []bool
+// round-trip — and handed to the sparse core. Allocation-free after
+// warm-up.
+func (u *UnionFind) DecodeBits(words []uint64, shot int) uint64 {
+	if len(words) != u.g.NumNodes {
+		panic("decoder: detector word count mismatch")
+	}
+	if shot < 0 || shot >= 64 {
+		panic("decoder: shot index out of range")
+	}
+	u.defects = u.defects[:0]
+	for d, w := range words {
+		if w>>uint(shot)&1 == 1 {
+			u.defects = append(u.defects, d)
+		}
+	}
+	return u.decode(u.defects)
+}
+
+// DecodeBatch decodes the first nshots shots of a packed 64-shot detector
+// batch, writing per-shot observable-flip predictions into preds[:nshots].
+// One pass over the detector words transposes set bits into per-shot
+// defect lists (O(detectors + defects) for the whole batch, instead of 64
+// dense scans), then each shot runs through the sparse core.
+// Allocation-free after warm-up.
+func (u *UnionFind) DecodeBatch(words []uint64, nshots int, preds []uint64) {
+	if len(words) != u.g.NumNodes {
+		panic("decoder: detector word count mismatch")
+	}
+	if nshots < 0 || nshots > 64 {
+		panic("decoder: batch shot count out of range")
+	}
+	if len(preds) < nshots {
+		panic("decoder: prediction buffer too small")
+	}
+	for s := 0; s < nshots; s++ {
+		u.batchDefects[s] = u.batchDefects[s][:0]
+	}
+	mask := ^uint64(0)
+	if nshots < 64 {
+		mask = 1<<uint(nshots) - 1
+	}
+	for d, w := range words {
+		w &= mask
+		for w != 0 {
+			s := bits.TrailingZeros64(w)
+			w &= w - 1
+			u.batchDefects[s] = append(u.batchDefects[s], d)
+		}
+	}
+	for s := 0; s < nshots; s++ {
+		preds[s] = u.decode(u.batchDefects[s])
+	}
+}
+
+// decode is the sparse core: defects is the strictly-increasing list of
+// defect node indices. All scratch is epoch-stamped or arena-backed, so a
+// steady-state call allocates nothing and touches only the neighborhoods
+// the defects grow into.
+func (u *UnionFind) decode(defects []int) uint64 {
+	ufDecodes.Inc()
+	ufDefects.Observe(int64(len(defects)))
+	u.epoch++
+
+	// Seed the defect clusters. Active clusters are represented in
+	// first-defect order, the order the growth loop visits them in.
+	u.active = u.active[:0]
+	u.treeEdges = u.treeEdges[:0]
+	for _, i := range defects {
+		u.touchNode(i)
+		u.parity[i] = 1
+		u.active = append(u.active, i)
 	}
 
 	// Growth loop: each iteration grows every boundary edge of every odd,
 	// boundary-free cluster by one half-step; fully-grown edges merge
 	// clusters.
 	for {
-		odd := odd(u, active)
-		if len(odd) == 0 {
+		u.oddRoots = u.oddRoots[:0]
+		u.seenGen++
+		for _, a := range u.active {
+			r := u.find(a)
+			if u.seenStamp[r] == u.seenGen {
+				continue
+			}
+			u.seenStamp[r] = u.seenGen
+			if u.parity[r] == 1 && !u.boundary[r] {
+				u.oddRoots = append(u.oddRoots, r)
+			}
+		}
+		if len(u.oddRoots) == 0 {
 			break
 		}
 		progress := false
-		for _, root := range odd {
+		for _, root := range u.oddRoots {
 			root = u.find(root) // may have been merged earlier this round
-			// Grow the cluster's incident edges, compacting out edges that
-			// are already fully grown.
+			// Grow the cluster's incident edges. The slice header is
+			// snapshotted: edges appended by unions during this pass are
+			// grown in a later round, matching the historical behavior.
 			list := u.edgeList[root]
-			kept := list[:0]
 			for _, ei := range list {
+				u.touchEdge(ei)
 				if u.growth[ei] >= 2 {
 					continue
 				}
@@ -181,6 +365,7 @@ func (u *UnionFind) Decode(defects []bool) uint64 {
 				if u.growth[ei] == 2 {
 					e := u.g.Edges[ei]
 					u.onTree[ei] = true
+					u.treeEdges = append(u.treeEdges, ei)
 					if e.V == Boundary {
 						r := u.find(e.U)
 						u.boundary[r] = true
@@ -193,13 +378,24 @@ func (u *UnionFind) Decode(defects []bool) uint64 {
 							root = newRoot
 						}
 					}
-					continue
 				}
-				kept = append(kept, ei)
 			}
-			if u.find(root) == root && len(u.edgeList[root]) >= len(list) {
-				// Only rewrite if the list slot still belongs to this root.
-				_ = kept
+			// Compact fully-grown edges out of the surviving root's list so
+			// later rounds don't rescan them. Entries an interleaved union
+			// duplicated are left in place: a duplicate's second visit falls
+			// into the growth>=2 skip, so dropping only grown edges is
+			// behavior-preserving.
+			if u.find(root) == root {
+				cur := u.edgeList[root]
+				w := 0
+				for _, ei := range cur {
+					if u.grownFull(ei) {
+						continue
+					}
+					cur[w] = ei
+					w++
+				}
+				u.edgeList[root] = cur[:w]
 			}
 		}
 		if !progress {
@@ -208,127 +404,143 @@ func (u *UnionFind) Decode(defects []bool) uint64 {
 			// the stranded defect surfaces as a decoding failure in peel.
 			break
 		}
-		// Recompute active roots.
-		seen := map[int]bool{}
-		next := active[:0]
-		for _, a := range active {
+		// Recompute active roots, keeping first-occurrence order.
+		u.seenGen++
+		next := u.active[:0]
+		for _, a := range u.active {
 			r := u.find(a)
-			if !seen[r] {
-				seen[r] = true
+			if u.seenStamp[r] != u.seenGen {
+				u.seenStamp[r] = u.seenGen
 				next = append(next, r)
 			}
 		}
-		active = next
+		u.active = next
 	}
 
 	return u.peel(defects)
 }
 
-// odd returns the roots among active clusters that still need growing.
-func odd(u *UnionFind, active []int) []int {
-	var out []int
-	seen := map[int]bool{}
-	for _, a := range active {
-		r := u.find(a)
-		if seen[r] {
-			continue
+// sortInts is an insertion sort for the small peel scratch lists (a few
+// entries per decode at the physical error rates of interest); avoids the
+// sort package's interface boxing on the hot path.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
 		}
-		seen[r] = true
-		if u.parity[r] == 1 && !u.boundary[r] {
-			out = append(out, r)
-		}
+		s[j+1] = v
 	}
-	return out
 }
 
 // peel extracts a correction from the grown cluster forests and returns the
-// XOR of the observable masks of the chosen edges.
-func (u *UnionFind) peel(defects []bool) uint64 {
-	n := u.g.NumNodes
-	def := make([]bool, n)
-	copy(def, defects)
-
-	visited := make([]bool, n)
-	parentEdge := make([]int, n)
-	order := make([]int, 0, n)
+// XOR of the observable masks of the chosen edges. Only nodes reachable
+// from grown edges or defects are visited; everything else is untouched
+// scratch from some earlier epoch.
+func (u *UnionFind) peel(defects []int) uint64 {
+	for _, d := range defects {
+		u.touchPeel(d)
+		u.defNow[d] = true
+	}
 
 	// Build BFS forests over fully-grown edges. Roots are nodes adjacent to
 	// grown boundary edges (so defects can drain into the boundary), then
-	// arbitrary nodes for the rest.
-	queue := []int{}
-	boundaryEdge := make([]int, n)
-	for i := range boundaryEdge {
-		boundaryEdge[i] = -1
-		parentEdge[i] = -1
-	}
-	for ei, e := range u.g.Edges {
-		if u.onTree[ei] && e.V == Boundary && !visited[e.U] {
-			visited[e.U] = true
-			boundaryEdge[e.U] = ei
-			queue = append(queue, e.U)
+	// the lowest-index unvisited node of each remaining tree. Both seed
+	// lists are sorted so the traversal matches a dense index-order scan.
+	u.order = u.order[:0]
+	u.queue = u.queue[:0]
+	u.qHead = 0
+	u.bSeed = u.bSeed[:0]
+	u.rootCand = u.rootCand[:0]
+	for _, ei := range u.treeEdges {
+		e := u.g.Edges[ei]
+		if e.V == Boundary {
+			u.bSeed = append(u.bSeed, ei)
+			u.rootCand = append(u.rootCand, e.U)
+		} else {
+			u.rootCand = append(u.rootCand, e.U, e.V)
 		}
 	}
-	bfs := func() {
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			order = append(order, v)
-			for _, ei := range u.adj[v] {
-				if !u.onTree[ei] {
-					continue
-				}
-				e := u.g.Edges[ei]
-				var w int
-				switch {
-				case e.V == Boundary:
-					continue
-				case e.U == v:
-					w = e.V
-				default:
-					w = e.U
-				}
-				if !visited[w] {
-					visited[w] = true
-					parentEdge[w] = ei
-					queue = append(queue, w)
-				}
-			}
+	u.rootCand = append(u.rootCand, defects...)
+	sortInts(u.bSeed)
+	for _, ei := range u.bSeed {
+		v := u.g.Edges[ei].U
+		u.touchPeel(v)
+		if !u.visited[v] {
+			u.visited[v] = true
+			u.boundaryEdge[v] = ei
+			u.queue = append(u.queue, v)
 		}
 	}
-	bfs() // drain the boundary-rooted trees first
-	for start := 0; start < n; start++ {
-		if !visited[start] {
-			visited[start] = true
-			queue = append(queue, start)
-			bfs()
+	u.bfs() // drain the boundary-rooted trees first
+	sortInts(u.rootCand)
+	for _, start := range u.rootCand {
+		u.touchPeel(start)
+		if !u.visited[start] {
+			u.visited[start] = true
+			u.queue = append(u.queue, start)
+			u.bfs()
 		}
 	}
 
 	// Peel in reverse BFS order: leaves first. A defect at a node is pushed
 	// along its parent edge (flipping the correction) onto its parent; roots
 	// with boundary edges drain into the boundary.
-	var obs uint64
-	for i := len(order) - 1; i >= 0; i-- {
-		v := order[i]
-		if !def[v] {
+	var obsMask uint64
+	for i := len(u.order) - 1; i >= 0; i-- {
+		v := u.order[i]
+		if !u.defNow[v] {
 			continue
 		}
-		if pe := parentEdge[v]; pe >= 0 {
+		if pe := u.parentEdge[v]; pe >= 0 {
 			e := u.g.Edges[pe]
-			obs ^= e.ObsMask
+			obsMask ^= e.ObsMask
 			other := e.U
 			if other == v {
 				other = e.V
 			}
-			def[v] = false
-			def[other] = !def[other]
-		} else if be := boundaryEdge[v]; be >= 0 {
-			obs ^= u.g.Edges[be].ObsMask
-			def[v] = false
+			u.defNow[v] = false
+			u.defNow[other] = !u.defNow[other]
+		} else if be := u.boundaryEdge[v]; be >= 0 {
+			obsMask ^= u.g.Edges[be].ObsMask
+			u.defNow[v] = false
 		}
 		// A defect stuck at a root with no boundary edge means the cluster
 		// had odd parity without boundary contact, which the growth phase
 		// prevents; leave it (decoder failure surfaces as a logical error).
 	}
-	return obs
+	return obsMask
+}
+
+// bfs drains the queue over fully-grown edges, appending visits to order
+// and recording each node's tree parent edge.
+func (u *UnionFind) bfs() {
+	for u.qHead < len(u.queue) {
+		v := u.queue[u.qHead]
+		u.qHead++
+		u.order = append(u.order, v)
+		for _, ei := range u.adj[v] {
+			if !u.isOnTree(ei) {
+				continue
+			}
+			e := u.g.Edges[ei]
+			var w int
+			switch {
+			case e.V == Boundary:
+				continue
+			case e.U == v:
+				w = e.V
+			default:
+				w = e.U
+			}
+			u.touchPeel(w)
+			if !u.visited[w] {
+				u.visited[w] = true
+				u.parentEdge[w] = ei
+				u.queue = append(u.queue, w)
+			}
+		}
+	}
 }

@@ -297,8 +297,8 @@ func TestDeviceStudyShape(t *testing.T) {
 		t.Skip("needs high shot count: the ancilla effect is ~13%")
 	}
 	sc := Quick()
-	sc.Shots = 30000
-	tab, err := DeviceStudy(context.Background(), sc, 3)
+	sc.Shots = 120000
+	tab, err := DeviceStudy(context.Background(), sc, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

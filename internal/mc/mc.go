@@ -27,7 +27,7 @@ import (
 // DefaultShardSize is the shard granularity when Config.ShardSize is unset:
 // a multiple of the 64-shot bit-parallel batch, small enough that even
 // CI-scale budgets (~1500 shots) split across several workers, large enough
-// that per-shard overhead (one rand.Rand allocation, one tally merge) is
+// that per-shard overhead (one RNG reseed, one tally merge) is
 // invisible next to sampling and decoding.
 const DefaultShardSize = 256
 
@@ -88,9 +88,12 @@ type Shard struct {
 	Lane int
 }
 
-// RNG returns a fresh deterministic generator for the shard's stream.
+// RNG returns a fresh deterministic generator for the shard's stream,
+// backed by the engine's SplitMix64 source (see rng.go). Hot shard runners
+// avoid even this small allocation by holding one NewRand per worker and
+// reseeding it per shard; RNG remains for one-off callers and tests.
 func (s Shard) RNG() *rand.Rand {
-	return rand.New(rand.NewSource(s.Seed))
+	return NewRand(s.Seed)
 }
 
 // Config describes one sharded run.

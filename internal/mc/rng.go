@@ -1,0 +1,24 @@
+package mc
+
+import (
+	"math/rand"
+
+	"hetarch/internal/splitmix"
+)
+
+// NewRand returns a *rand.Rand over a SplitMix64 source (internal/splitmix)
+// seeded for the given stream. Reseeding it with rng.Seed(seed) is a single
+// word store, so shard runners hold one per worker and re-point it at each
+// shard:
+//
+//	rng := mc.NewRand(0)
+//	return func(sh mc.Shard) mc.Tally {
+//		rng.Seed(sh.Seed)
+//		...
+//	}
+//
+// Batch shard runners skip the *rand.Rand wrapper and hold a *splitmix.RNG
+// directly, so the per-draw Float64 inlines into the sampling hot loop.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(splitmix.New(seed))
+}

@@ -57,6 +57,18 @@ func TestMetricNameHygiene(t *testing.T) {
 		t.Fatalf("only %d metrics registered — the experiments import no longer pulls in the instrumented packages", len(kinds))
 	}
 
+	// Metrics the decoder hot path is expected to keep publishing: the
+	// zero-alloc rewrite moved defect accounting out of Decode's inner loop,
+	// and these names are the contract that the telemetry survived the move.
+	for name, kind := range map[string]string{
+		"decoder.unionfind.decodes":          "counter",
+		"decoder.unionfind.defects_per_shot": "histogram",
+	} {
+		if _, ok := kinds[name]; !ok {
+			t.Errorf("expected %s %q is not registered", kind, name)
+		}
+	}
+
 	prom := map[string]string{}
 	for name, kk := range kinds {
 		if !metricName.MatchString(name) {

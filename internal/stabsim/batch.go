@@ -1,8 +1,9 @@
 package stabsim
 
 import (
+	"hetarch/internal/splitmix"
 	"math"
-	"math/rand"
+	"math/bits"
 
 	"hetarch/internal/obs"
 )
@@ -13,6 +14,59 @@ var (
 	batchCount      = obs.C("stabsim.batches")
 	batchShotsCount = obs.C("stabsim.batch_shots")
 )
+
+// maskParams is the per-op precomputed state of the geometric-skip Bernoulli
+// sampler. Every noise op has a fixed probability, so log1p(-p) — one math
+// call per mask draw in the naive formulation — is computed once per circuit
+// op at sampler construction, and the probability that a whole 64-shot word
+// is error-free, q^64, becomes a single precomputed threshold: the common
+// all-zero mask then costs one uniform draw and one compare instead of a
+// math.Log.
+type maskParams struct {
+	p       float64 // the op's event probability
+	logq    float64 // log1p(-p), the geometric-skip denominator
+	anyBit  float64 // 1 - (1-p)^64: P(at least one of 64 shots draws the event)
+	degener bool    // p <= 0 or p >= 1: no randomness needed
+}
+
+func newMaskParams(p float64) maskParams {
+	m := maskParams{p: p}
+	if p <= 0 || p >= 1 {
+		m.degener = true
+		return m
+	}
+	m.logq = math.Log1p(-p)
+	// P(no set bit) = q^64 = exp(64·log q); the first geometric gap is >= 64
+	// exactly when the uniform draw u satisfies 1-u <= q^64.
+	m.anyBit = 1 - math.Exp(64*m.logq)
+	return m
+}
+
+// mask draws a 64-bit word whose bits are independently 1 with the op's
+// probability, consuming one uniform plus one per set bit. The fast path —
+// one draw, one compare — handles the all-zero word that dominates at the
+// physical error rates of the evaluation sweeps.
+func (m *maskParams) mask(rng *splitmix.RNG) uint64 {
+	if m.degener {
+		if m.p >= 1 {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	u := rng.Float64()
+	if u >= m.anyBit {
+		return 0
+	}
+	var w uint64
+	pos := int(math.Log(1-u) / m.logq)
+	for pos < 64 {
+		w |= 1 << uint(pos)
+		pos++
+		u = rng.Float64()
+		pos += int(math.Log(1-u) / m.logq)
+	}
+	return w
+}
 
 // BatchFrameSampler propagates 64 Pauli frames simultaneously, one per bit
 // of a machine word — the bit-parallel trick that gives Stim-class sampling
@@ -25,17 +79,18 @@ var (
 // shots of the batch.
 type BatchFrameSampler struct {
 	c   *Circuit
-	rng *rand.Rand
+	rng *splitmix.RNG
 
 	fx, fz    []uint64 // frame words, one per qubit
 	flips     []uint64 // measurement-record words
 	detectors []uint64
 	obs       []uint64
+	noise     []maskParams // per-op cached Bernoulli state (zero for non-noise ops)
 }
 
 // NewBatchFrameSampler prepares a bit-parallel sampler for the circuit.
-func NewBatchFrameSampler(c *Circuit, rng *rand.Rand) *BatchFrameSampler {
-	return &BatchFrameSampler{
+func NewBatchFrameSampler(c *Circuit, rng *splitmix.RNG) *BatchFrameSampler {
+	b := &BatchFrameSampler{
 		c:         c,
 		rng:       rng,
 		fx:        make([]uint64, c.N),
@@ -43,13 +98,24 @@ func NewBatchFrameSampler(c *Circuit, rng *rand.Rand) *BatchFrameSampler {
 		flips:     make([]uint64, 0, c.numMeasurements),
 		detectors: make([]uint64, c.numDetectors),
 		obs:       make([]uint64, c.numObservables),
+		noise:     make([]maskParams, len(c.Ops)),
 	}
+	for i := range c.Ops {
+		op := &c.Ops[i]
+		switch op.Code {
+		case OpM, OpMR, OpDepolarize1, OpDepolarize2, OpXError, OpYError, OpZError:
+			b.noise[i] = newMaskParams(op.Args[0])
+		case OpPauliChannel1:
+			b.noise[i] = newMaskParams(op.Args[0] + op.Args[1] + op.Args[2])
+		}
+	}
+	return b
 }
 
 // SetRNG swaps the sampler's randomness source. The mc engine uses this to
 // point a worker-owned sampler at each shard's deterministic stream without
 // rebuilding the frame and record buffers.
-func (b *BatchFrameSampler) SetRNG(rng *rand.Rand) { b.rng = rng }
+func (b *BatchFrameSampler) SetRNG(rng *splitmix.RNG) { b.rng = rng }
 
 // BatchResult carries 64 shots: bit s of Detectors[d] is detector d's event
 // in shot s, and likewise for Observables.
@@ -58,34 +124,38 @@ type BatchResult struct {
 	Observables []uint64
 }
 
-// bernoulliMask returns a word whose bits are independently 1 with
-// probability p, using geometric skipping so the cost is proportional to
-// the number of set bits.
-func bernoulliMask(rng *rand.Rand, p float64) uint64 {
-	if p <= 0 {
-		return 0
-	}
-	if p >= 1 {
-		return ^uint64(0)
-	}
-	var m uint64
-	logq := math.Log1p(-p)
-	// Geometric jumps between successive set bits.
-	pos := 0
-	for {
-		u := rng.Float64()
-		skip := int(math.Log(1-u) / logq)
-		pos += skip
-		if pos >= 64 {
-			return m
+// ForEachDetectorBit walks the set bits of the packed detector words,
+// calling fn(detector, shot) for every fired (detector, shot) pair in
+// (detector-major, shot-minor) order. At the physical error rates of the
+// evaluation sweeps most words are zero, so a full sweep costs one word
+// test per detector plus one call per actual defect. The decode hot paths
+// (decoder.DecodeBatch, the uec syndrome transpose) inline the same
+// TrailingZeros64 walk to keep their per-shot buffers local; this is the
+// general-purpose form for new consumers.
+func (r BatchResult) ForEachDetectorBit(fn func(detector, shot int)) {
+	for d, w := range r.Detectors {
+		for w != 0 {
+			s := bits.TrailingZeros64(w)
+			w &= w - 1
+			fn(d, s)
 		}
-		m |= 1 << uint(pos)
-		pos++
 	}
 }
 
+// bernoulliMask returns a word whose bits are independently 1 with
+// probability p, using geometric skipping so the cost is proportional to
+// the number of set bits. Hot paths use the cached maskParams form; this
+// entry point recomputes the per-p constants and serves ad-hoc callers and
+// tests.
+func bernoulliMask(rng *splitmix.RNG, p float64) uint64 {
+	m := newMaskParams(p)
+	return m.mask(rng)
+}
+
 // SampleBatch executes 64 shots and returns their detector and observable
-// words. The returned slices are freshly allocated.
+// words. The returned slices alias the sampler's internal buffers: they are
+// valid until the next SampleBatch call and must not be retained or
+// mutated. Steady-state sampling is allocation-free.
 func (b *BatchFrameSampler) SampleBatch() BatchResult {
 	batchCount.Inc()
 	batchShotsCount.Add(64)
@@ -133,14 +203,12 @@ func (b *BatchFrameSampler) SampleBatch() BatchResult {
 				b.fz[aq], b.fz[bq] = b.fz[bq], b.fz[aq]
 			}
 		case OpM:
-			p := op.Args[0]
 			for _, q := range op.Targets {
-				b.flips = append(b.flips, b.fx[q]^bernoulliMask(b.rng, p))
+				b.flips = append(b.flips, b.fx[q]^b.noise[i].mask(b.rng))
 			}
 		case OpMR:
-			p := op.Args[0]
 			for _, q := range op.Targets {
-				b.flips = append(b.flips, b.fx[q]^bernoulliMask(b.rng, p))
+				b.flips = append(b.flips, b.fx[q]^b.noise[i].mask(b.rng))
 				b.fx[q] = 0
 				b.fz[q] = 0
 			}
@@ -150,14 +218,12 @@ func (b *BatchFrameSampler) SampleBatch() BatchResult {
 				b.fz[q] = 0
 			}
 		case OpDepolarize1:
-			p := op.Args[0]
 			for _, q := range op.Targets {
-				b.applySparsePauli(q, bernoulliMask(b.rng, p))
+				b.applySparsePauli(q, b.noise[i].mask(b.rng))
 			}
 		case OpDepolarize2:
-			p := op.Args[0]
 			for t := 0; t < len(op.Targets); t += 2 {
-				events := bernoulliMask(b.rng, p)
+				events := b.noise[i].mask(b.rng)
 				for events != 0 {
 					bit := events & (-events)
 					events &^= bit
@@ -168,23 +234,23 @@ func (b *BatchFrameSampler) SampleBatch() BatchResult {
 			}
 		case OpXError:
 			for _, q := range op.Targets {
-				b.fx[q] ^= bernoulliMask(b.rng, op.Args[0])
+				b.fx[q] ^= b.noise[i].mask(b.rng)
 			}
 		case OpYError:
 			for _, q := range op.Targets {
-				m := bernoulliMask(b.rng, op.Args[0])
+				m := b.noise[i].mask(b.rng)
 				b.fx[q] ^= m
 				b.fz[q] ^= m
 			}
 		case OpZError:
 			for _, q := range op.Targets {
-				b.fz[q] ^= bernoulliMask(b.rng, op.Args[0])
+				b.fz[q] ^= b.noise[i].mask(b.rng)
 			}
 		case OpPauliChannel1:
 			px, py, pz := op.Args[0], op.Args[1], op.Args[2]
 			total := px + py + pz
 			for _, q := range op.Targets {
-				events := bernoulliMask(b.rng, total)
+				events := b.noise[i].mask(b.rng)
 				for events != 0 {
 					bit := events & (-events)
 					events &^= bit
@@ -214,8 +280,8 @@ func (b *BatchFrameSampler) SampleBatch() BatchResult {
 		}
 	}
 	return BatchResult{
-		Detectors:   append([]uint64(nil), b.detectors...),
-		Observables: append([]uint64(nil), b.obs...),
+		Detectors:   b.detectors,
+		Observables: b.obs,
 	}
 }
 

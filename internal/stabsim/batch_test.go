@@ -5,10 +5,12 @@ import (
 	"math/bits"
 	"math/rand"
 	"testing"
+
+	"hetarch/internal/splitmix"
 )
 
 func TestBernoulliMaskExtremes(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
+	rng := splitmix.New(1)
 	if bernoulliMask(rng, 0) != 0 {
 		t.Fatal("p=0 should give empty mask")
 	}
@@ -18,7 +20,7 @@ func TestBernoulliMaskExtremes(t *testing.T) {
 }
 
 func TestBernoulliMaskStatistics(t *testing.T) {
-	rng := rand.New(rand.NewSource(2))
+	rng := splitmix.New(2)
 	for _, p := range []float64{0.01, 0.1, 0.5, 0.9} {
 		total := 0
 		samples := 4000
@@ -32,10 +34,43 @@ func TestBernoulliMaskStatistics(t *testing.T) {
 	}
 }
 
+// TestForEachDetectorBit pins the sparse iterator against a dense scan of
+// the same words: every fired (detector, shot) pair exactly once, in
+// detector-major shot-minor order.
+func TestForEachDetectorBit(t *testing.T) {
+	rng := splitmix.New(4)
+	words := make([]uint64, 9)
+	for i := range words {
+		words[i] = rng.Uint64() & rng.Uint64() & rng.Uint64() // sparse-ish
+	}
+	words[3] = 0 // empty word must be skipped wholesale
+	res := BatchResult{Detectors: words}
+
+	var got [][2]int
+	res.ForEachDetectorBit(func(d, s int) { got = append(got, [2]int{d, s}) })
+
+	var want [][2]int
+	for d, w := range words {
+		for s := 0; s < 64; s++ {
+			if w>>uint(s)&1 == 1 {
+				want = append(want, [2]int{d, s})
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator visited %d pairs, dense scan %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pair %d: iterator %v, dense scan %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestBatchDeterministicError(t *testing.T) {
 	c := NewCircuit(1)
 	c.XError(1.0, 0).M(0).Detector(-1)
-	bs := NewBatchFrameSampler(c, rand.New(rand.NewSource(1)))
+	bs := NewBatchFrameSampler(c, splitmix.New(1))
 	res := bs.SampleBatch()
 	if res.Detectors[0] != ^uint64(0) {
 		t.Fatalf("certain error should fire in every shot: %x", res.Detectors[0])
@@ -46,7 +81,7 @@ func TestBatchNoiselessQuiet(t *testing.T) {
 	c := NewCircuit(3)
 	c.H(0).CX(0, 1).CX(1, 2).M(0, 1, 2)
 	c.Detector(-1, -2).Detector(-2, -3)
-	bs := NewBatchFrameSampler(c, rand.New(rand.NewSource(1)))
+	bs := NewBatchFrameSampler(c, splitmix.New(1))
 	res := bs.SampleBatch()
 	for i, d := range res.Detectors {
 		if d != 0 {
@@ -58,7 +93,7 @@ func TestBatchNoiselessQuiet(t *testing.T) {
 func TestBatchMatchesScalarRates(t *testing.T) {
 	c := repCodeCircuit(0.08, 2)
 	batches := 120 // 7680 shots
-	bs := NewBatchFrameSampler(c, rand.New(rand.NewSource(3)))
+	bs := NewBatchFrameSampler(c, splitmix.New(3))
 	counts := make([]int, c.NumDetectors())
 	obsCount := 0
 	for i := 0; i < batches; i++ {
@@ -117,7 +152,7 @@ func TestBatchGateConventionsMatchScalar(t *testing.T) {
 	}
 	fs := NewFrameSampler(build(), rand.New(rand.NewSource(1)))
 	sres := fs.Sample()
-	bs := NewBatchFrameSampler(build(), rand.New(rand.NewSource(1)))
+	bs := NewBatchFrameSampler(build(), splitmix.New(1))
 	bres := bs.SampleBatch()
 	for d := range sres.Detectors {
 		want := uint64(0)
@@ -133,7 +168,7 @@ func TestBatchGateConventionsMatchScalar(t *testing.T) {
 func TestBatchMRClears(t *testing.T) {
 	c := NewCircuit(1)
 	c.XError(1.0, 0).MR(0, 0).M(0).Detector(-1)
-	bs := NewBatchFrameSampler(c, rand.New(rand.NewSource(1)))
+	bs := NewBatchFrameSampler(c, splitmix.New(1))
 	if res := bs.SampleBatch(); res.Detectors[0] != 0 {
 		t.Fatal("MR should clear the frame in every shot")
 	}

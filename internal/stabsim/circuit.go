@@ -61,6 +61,16 @@ type Op struct {
 }
 
 // Circuit is an immutable-once-built instruction sequence over N qubits.
+//
+// Two construction-time optimizations keep large circuits cheap to build
+// and fast to replay:
+//
+//   - Op payloads (Targets, Args, Recs) are carved from chunked arenas
+//     owned by the circuit instead of one heap allocation per op.
+//   - Consecutive single-qubit Pauli noise ops on the same qubit are fused
+//     into one OpPauliChannel1 whose probabilities are the exact channel
+//     composition — the sampled error distribution is identical, but the
+//     samplers draw one event mask per fused stack instead of one per op.
 type Circuit struct {
 	N   int
 	Ops []Op
@@ -68,6 +78,106 @@ type Circuit struct {
 	numMeasurements int
 	numDetectors    int
 	numObservables  int
+
+	intArena []int     // current carve block for Targets/Recs
+	f64Arena []float64 // current carve block for Args
+}
+
+// arenaBlock is the chunk size for op-payload arenas; large enough that
+// payload allocation is one make per ~hundreds of ops.
+const arenaBlock = 1024
+
+// carveInts copies vs into the circuit's int arena and returns the stable,
+// capacity-capped sub-slice. Arena blocks are never reallocated, so
+// previously carved op payloads stay valid as the circuit grows.
+func (c *Circuit) carveInts(vs []int) []int {
+	if len(vs) == 0 {
+		return nil
+	}
+	if len(c.intArena) < len(vs) {
+		n := arenaBlock
+		if len(vs) > n {
+			n = len(vs)
+		}
+		c.intArena = make([]int, n)
+	}
+	s := c.intArena[:len(vs):len(vs)]
+	c.intArena = c.intArena[len(vs):]
+	copy(s, vs)
+	return s
+}
+
+// carveFloats is carveInts for Args payloads.
+func (c *Circuit) carveFloats(vs ...float64) []float64 {
+	if len(c.f64Arena) < len(vs) {
+		n := arenaBlock
+		if len(vs) > n {
+			n = len(vs)
+		}
+		c.f64Arena = make([]float64, n)
+	}
+	s := c.f64Arena[:len(vs):len(vs)]
+	c.f64Arena = c.f64Arena[len(vs):]
+	copy(s, vs)
+	return s
+}
+
+// pauliTriple extracts the (px, py, pz) channel of a fusable single-qubit
+// Pauli noise op.
+func pauliTriple(op *Op) (px, py, pz float64, ok bool) {
+	if len(op.Targets) != 1 {
+		return 0, 0, 0, false
+	}
+	switch op.Code {
+	case OpDepolarize1:
+		p := op.Args[0] / 3
+		return p, p, p, true
+	case OpXError:
+		return op.Args[0], 0, 0, true
+	case OpYError:
+		return 0, op.Args[0], 0, true
+	case OpZError:
+		return 0, 0, op.Args[0], true
+	case OpPauliChannel1:
+		return op.Args[0], op.Args[1], op.Args[2], true
+	}
+	return 0, 0, 0, false
+}
+
+// composePauli returns the exact composition of two independent single-qubit
+// Pauli channels applied back to back: the probability of each net Pauli is
+// the convolution over the Pauli group (X·Y = Z and so on; phases are
+// irrelevant to frame propagation).
+func composePauli(ax, ay, az, bx, by, bz float64) (cx, cy, cz float64) {
+	ai := 1 - ax - ay - az
+	bi := 1 - bx - by - bz
+	cx = ai*bx + ax*bi + ay*bz + az*by
+	cy = ai*by + ay*bi + az*bx + ax*bz
+	cz = ai*bz + az*bi + ax*by + ay*bx
+	return
+}
+
+// fusePauli1 folds a single-qubit Pauli channel on q into the circuit's
+// last op when that op is itself a single-qubit Pauli channel on the same
+// qubit. The fused op's Args are carved fresh — never mutated in place — so
+// payloads shared with an Append source stay intact. Reports whether the
+// channel was absorbed.
+func (c *Circuit) fusePauli1(q int, px, py, pz float64) bool {
+	if len(c.Ops) == 0 {
+		return false
+	}
+	last := &c.Ops[len(c.Ops)-1]
+	if len(last.Targets) != 1 || last.Targets[0] != q {
+		return false
+	}
+	ax, ay, az, ok := pauliTriple(last)
+	if !ok {
+		return false
+	}
+	cx, cy, cz := composePauli(ax, ay, az, px, py, pz)
+	last.Code = OpPauliChannel1
+	last.Args = c.carveFloats(cx, cy, cz)
+	return true
 }
 
 // NewCircuit returns an empty circuit over n qubits.
@@ -97,7 +207,7 @@ func (c *Circuit) checkQubits(qs ...int) {
 
 func (c *Circuit) gate1(code OpCode, qs ...int) *Circuit {
 	c.checkQubits(qs...)
-	c.Ops = append(c.Ops, Op{Code: code, Targets: append([]int(nil), qs...)})
+	c.Ops = append(c.Ops, Op{Code: code, Targets: c.carveInts(qs)})
 	return c
 }
 
@@ -111,7 +221,7 @@ func (c *Circuit) gate2(code OpCode, pairs ...int) *Circuit {
 			panic("stabsim: two-qubit gate with identical targets")
 		}
 	}
-	c.Ops = append(c.Ops, Op{Code: code, Targets: append([]int(nil), pairs...)})
+	c.Ops = append(c.Ops, Op{Code: code, Targets: c.carveInts(pairs)})
 	return c
 }
 
@@ -149,7 +259,7 @@ func (c *Circuit) M(qs ...int) *Circuit { return c.MFlip(0, qs...) }
 // probability p (readout error), one record per qubit in order.
 func (c *Circuit) MFlip(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
-	c.Ops = append(c.Ops, Op{Code: OpM, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	c.Ops = append(c.Ops, Op{Code: OpM, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	c.numMeasurements += len(qs)
 	return c
 }
@@ -157,7 +267,7 @@ func (c *Circuit) MFlip(p float64, qs ...int) *Circuit {
 // MR appends measure-and-reset operations with flip probability p.
 func (c *Circuit) MR(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
-	c.Ops = append(c.Ops, Op{Code: OpMR, Targets: append([]int(nil), qs...), Args: []float64{p}})
+	c.Ops = append(c.Ops, Op{Code: OpMR, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	c.numMeasurements += len(qs)
 	return c
 }
@@ -169,7 +279,10 @@ func (c *Circuit) R(qs ...int) *Circuit { return c.gate1(OpR, qs...) }
 func (c *Circuit) Depolarize1(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
 	if p > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpDepolarize1, Targets: append([]int(nil), qs...), Args: []float64{p}})
+		if len(qs) == 1 && c.fusePauli1(qs[0], p/3, p/3, p/3) {
+			return c
+		}
+		c.Ops = append(c.Ops, Op{Code: OpDepolarize1, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	}
 	return c
 }
@@ -181,7 +294,7 @@ func (c *Circuit) Depolarize2(p float64, pairs ...int) *Circuit {
 	}
 	c.checkQubits(pairs...)
 	if p > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpDepolarize2, Targets: append([]int(nil), pairs...), Args: []float64{p}})
+		c.Ops = append(c.Ops, Op{Code: OpDepolarize2, Targets: c.carveInts(pairs), Args: c.carveFloats(p)})
 	}
 	return c
 }
@@ -190,7 +303,10 @@ func (c *Circuit) Depolarize2(p float64, pairs ...int) *Circuit {
 func (c *Circuit) XError(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
 	if p > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpXError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+		if len(qs) == 1 && c.fusePauli1(qs[0], p, 0, 0) {
+			return c
+		}
+		c.Ops = append(c.Ops, Op{Code: OpXError, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	}
 	return c
 }
@@ -199,7 +315,10 @@ func (c *Circuit) XError(p float64, qs ...int) *Circuit {
 func (c *Circuit) YError(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
 	if p > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpYError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+		if len(qs) == 1 && c.fusePauli1(qs[0], 0, p, 0) {
+			return c
+		}
+		c.Ops = append(c.Ops, Op{Code: OpYError, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	}
 	return c
 }
@@ -208,7 +327,10 @@ func (c *Circuit) YError(p float64, qs ...int) *Circuit {
 func (c *Circuit) ZError(p float64, qs ...int) *Circuit {
 	c.checkQubits(qs...)
 	if p > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpZError, Targets: append([]int(nil), qs...), Args: []float64{p}})
+		if len(qs) == 1 && c.fusePauli1(qs[0], 0, 0, p) {
+			return c
+		}
+		c.Ops = append(c.Ops, Op{Code: OpZError, Targets: c.carveInts(qs), Args: c.carveFloats(p)})
 	}
 	return c
 }
@@ -220,7 +342,10 @@ func (c *Circuit) PauliChannel1(px, py, pz float64, qs ...int) *Circuit {
 		panic("stabsim: PauliChannel1 probabilities exceed 1")
 	}
 	if px > 0 || py > 0 || pz > 0 {
-		c.Ops = append(c.Ops, Op{Code: OpPauliChannel1, Targets: append([]int(nil), qs...), Args: []float64{px, py, pz}})
+		if len(qs) == 1 && c.fusePauli1(qs[0], px, py, pz) {
+			return c
+		}
+		c.Ops = append(c.Ops, Op{Code: OpPauliChannel1, Targets: c.carveInts(qs), Args: c.carveFloats(px, py, pz)})
 	}
 	return c
 }
@@ -229,7 +354,7 @@ func (c *Circuit) PauliChannel1(px, py, pz float64, qs ...int) *Circuit {
 // (−1 is the most recent measurement at this point in the circuit).
 func (c *Circuit) Detector(recs ...int) *Circuit {
 	c.checkRecs(recs)
-	c.Ops = append(c.Ops, Op{Code: OpDetector, Recs: append([]int(nil), recs...)})
+	c.Ops = append(c.Ops, Op{Code: OpDetector, Recs: c.carveInts(recs)})
 	c.numDetectors++
 	return c
 }
@@ -240,7 +365,7 @@ func (c *Circuit) Observable(idx int, recs ...int) *Circuit {
 		panic("stabsim: negative observable index")
 	}
 	c.checkRecs(recs)
-	c.Ops = append(c.Ops, Op{Code: OpObservable, Recs: append([]int(nil), recs...), Index: idx})
+	c.Ops = append(c.Ops, Op{Code: OpObservable, Recs: c.carveInts(recs), Index: idx})
 	if idx+1 > c.numObservables {
 		c.numObservables = idx + 1
 	}

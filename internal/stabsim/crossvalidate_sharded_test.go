@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"hetarch/internal/mc"
+	"hetarch/internal/splitmix"
 )
 
 // randomEchoCircuit builds a C ; noise ; C† ; measure-all circuit from a
@@ -75,9 +76,10 @@ func sampleShardedDetectorCounts(c *Circuit, shots int, seed int64, workers int)
 	nDet := c.NumDetectors()
 	perShard := mc.MapShards(mc.Config{Shots: shots, Seed: seed, Workers: workers},
 		func() func(mc.Shard) []int64 {
-			bs := NewBatchFrameSampler(c, rand.New(rand.NewSource(0)))
+			rng := splitmix.New(0)
+			bs := NewBatchFrameSampler(c, rng)
 			return func(sh mc.Shard) []int64 {
-				bs.SetRNG(sh.RNG())
+				rng.Seed(sh.Seed)
 				counts := make([]int64, nDet)
 				for done := 0; done < sh.Shots; {
 					batch := bs.SampleBatch()

@@ -10,6 +10,7 @@ import (
 	"hetarch/internal/obs"
 	"hetarch/internal/obs/stats"
 	"hetarch/internal/obs/trace"
+	"hetarch/internal/splitmix"
 	"hetarch/internal/stabsim"
 )
 
@@ -163,11 +164,12 @@ func (e *Experiment) RunSharded(shots int, seed int64, workers int) Result {
 func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, workers int) (Result, error) {
 	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
 	tally, err := mc.RunContext(ctx, cfg, func() mc.ShardRunner {
-		bs := stabsim.NewBatchFrameSampler(e.Circuit, rand.New(rand.NewSource(0)))
+		rng := splitmix.New(0)
+		bs := stabsim.NewBatchFrameSampler(e.Circuit, rng)
 		uf := e.uf.Clone()
-		defects := make([]bool, e.Graph.NumNodes)
+		var preds [64]uint64
 		return func(sh mc.Shard) mc.Tally {
-			bs.SetRNG(sh.RNG())
+			rng.Seed(sh.Seed)
 			// Sub-phase tracing splits a sampled shard's slice into its
 			// sample (frame propagation) and decode (union-find) phases,
 			// one pair per 64-shot batch. Timing never touches the RNG, so
@@ -196,13 +198,13 @@ func (e *Experiment) RunContext(ctx context.Context, shots int, seed int64, work
 				if sh.Shots-done < n {
 					n = sh.Shots - done
 				}
+				// Sparse decode: one transpose of the packed detector words
+				// per batch, then only each shot's actual defects are walked —
+				// the dense []bool round-trip is gone.
+				uf.DecodeBatch(batch.Detectors, n, preds[:])
 				for s := 0; s < n; s++ {
-					for d := range defects {
-						defects[d] = batch.Detectors[d]>>uint(s)&1 == 1
-					}
-					pred := uf.Decode(defects)
 					actual := batch.Observables[0]>>uint(s)&1 == 1
-					if (pred&1 == 1) != actual {
+					if (preds[s]&1 == 1) != actual {
 						t.Errors++
 					}
 				}

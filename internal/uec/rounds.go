@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"math/rand"
 
 	"hetarch/internal/mc"
 	"hetarch/internal/obs"
@@ -186,9 +185,10 @@ func (m *MemoryExperiment) RunContext(ctx context.Context, shots int, seed int64
 	k := m.E.numChecks
 	cfg := mc.Config{Shots: shots, Seed: seed, Workers: workers}
 	tally, err := mc.RunContext(ctx, cfg, func() mc.ShardRunner {
-		fs := stabsim.NewFrameSampler(m.circuit, rand.New(rand.NewSource(0)))
+		rng := mc.NewRand(0)
+		fs := stabsim.NewFrameSampler(m.circuit, rng)
 		return func(sh mc.Shard) mc.Tally {
-			fs.SetRNG(sh.RNG())
+			rng.Seed(sh.Seed)
 			var t mc.Tally
 			for s := 0; s < sh.Shots; s++ {
 				shot := fs.Sample()
