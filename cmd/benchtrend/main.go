@@ -22,13 +22,15 @@
 // Files are read oldest-first; the last baseline of the last file is "the
 // newest". Exit codes (the CI contract, shared with cmd/obsdiff):
 //
-//	0  trend printed, no regression (always, under -report-only)
+//	0  trend printed, no regression (always, under -report-only); also an
+//	   empty or single-baseline history, which has no comparable entries yet
 //	1  newest baseline regressed against its predecessor, or failed a
 //	   -min-gain / -max-allocs assertion
 //	2  usage error or unreadable artifact
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +70,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	series, err := bench.LoadSeries(fs.Args()...)
 	if err != nil {
+		if errors.Is(err, bench.ErrNoBaselines) {
+			// An empty history is the state before the first CI append, not a
+			// broken artifact: report it and pass.
+			fmt.Fprintf(stdout, "benchtrend: no comparable entries (%v)\n", err)
+			return 0
+		}
 		fmt.Fprintln(stderr, "benchtrend:", err)
 		return 2
 	}
@@ -146,14 +154,16 @@ func num(v float64, format string) string {
 }
 
 // gateMinGain asserts the newest baseline's shots/sec is at least minGain
-// times the oldest baseline's, per experiment measured in both. It returns
-// the number of failures — including the degenerate series where no
-// experiment is comparable at all, so a malformed history cannot silently
-// pass a gate that was explicitly requested.
+// times the oldest baseline's, per experiment measured in both. A
+// single-baseline series has no comparable entries yet — the state of a
+// fresh history before the second CI append — and passes with a note. A
+// multi-baseline series where no experiment is comparable at all is a
+// malformed history and fails, so an explicitly requested gate cannot pass
+// vacuously.
 func gateMinGain(w io.Writer, series []bench.Baseline, minGain float64) int {
 	if len(series) < 2 {
-		fmt.Fprintf(w, "min-gain: FAIL — only one baseline, nothing to compare against\n")
-		return 1
+		fmt.Fprintln(w, "min-gain: no comparable entries — a single baseline has no predecessor yet")
+		return 0
 	}
 	labels := bench.SeriesLabels(series)
 	old, new := &series[0], &series[len(series)-1]

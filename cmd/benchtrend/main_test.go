@@ -224,11 +224,17 @@ func TestMinGainGate(t *testing.T) {
 		t.Fatalf("recovered endpoints exited %d, want 0\n%s", got, stdout.String())
 	}
 
-	// Degenerate inputs fail rather than pass vacuously.
+	// A single baseline has no predecessor yet: the gate notes it and
+	// passes, so the first CI run after a history reset does not fail.
 	stdout.Reset()
-	if got := run([]string{"-min-gain", "2.0", old}, &stdout, &stderr); got != 1 {
-		t.Fatalf("single baseline under -min-gain exited %d, want 1\n%s", got, stdout.String())
+	if got := run([]string{"-min-gain", "2.0", old}, &stdout, &stderr); got != 0 {
+		t.Fatalf("single baseline under -min-gain exited %d, want 0\n%s", got, stdout.String())
 	}
+	if !strings.Contains(stdout.String(), "no comparable entries") {
+		t.Fatalf("single-baseline min-gain not explained:\n%s", stdout.String())
+	}
+	// But a multi-baseline series where nothing is comparable is malformed
+	// and fails rather than passing vacuously.
 	disjoint := bench.Baseline{
 		RecordedAt: "2026-08-03T00:00:00Z", GitRevision: "dddd000000", Workers: 1,
 		Entries: []bench.Entry{{Experiment: "fig6", Scale: "quick", Shots: 1000,
@@ -241,6 +247,31 @@ func TestMinGainGate(t *testing.T) {
 	}
 	if !strings.Contains(stdout.String(), "no experiment measured in both") {
 		t.Fatalf("incomparable series not explained:\n%s", stdout.String())
+	}
+}
+
+// TestEmptyHistoryPasses: a history file that exists but holds no
+// baselines yet (fresh or truncated) is the pre-first-append state, not a
+// broken artifact — benchtrend notes it and exits 0, even with gates
+// requested. A missing file stays a usage error.
+func TestEmptyHistoryPasses(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "history.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-min-gain", "2.0", "-max-allocs", "0", empty}, &stdout, &stderr); got != 0 {
+		t.Fatalf("empty history exited %d, want 0\n%s%s", got, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "no comparable entries") {
+		t.Fatalf("empty history not explained:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{filepath.Join(dir, "missing.jsonl")}, &stdout, &stderr); got != 2 {
+		t.Fatalf("missing file exited %d, want 2\n%s", got, stderr.String())
 	}
 }
 

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"hetarch/internal/fabric"
+	"hetarch/internal/mc"
+	"hetarch/internal/mc/chaos"
+	"hetarch/internal/obs/ledger"
+)
+
+// freePort reserves an ephemeral loopback port and returns it as host:port,
+// so the test can hand the coordinator and the workers the same address
+// before the coordinator has started.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// waitFabricUp polls the coordinator's job endpoint until it answers. The
+// probe identifies itself as a worker, which registers a live worker with
+// the coordinator — so pending blocks wait out LocalDelay instead of being
+// executed locally at once, giving the real workers time to join. If the
+// coordinator goroutine exits before serving, the failure (and its stderr)
+// is surfaced instead of a timeout.
+func waitFabricUp(t *testing.T, addr string, coordDone <-chan int, coordStderr *bytes.Buffer) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case code := <-coordDone:
+			t.Fatalf("coordinator exited %d before serving: %s", code, coordStderr.String())
+		default:
+		}
+		resp, err := http.Post("http://"+addr+fabric.PathJob+"?worker=probe", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			resp.Body.Close()
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never came up at %s", addr)
+}
+
+// keepProbeAlive keeps the phantom probe worker's liveness fresh until stop
+// is closed, so the coordinator's pending blocks wait out LocalDelay for
+// the whole sweep — the real workers keep first refusal even when a loaded
+// test host delays their startup past the probe's initial TTL.
+func keepProbeAlive(addr string, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(150 * time.Millisecond):
+		}
+		resp, err := http.Post("http://"+addr+fabric.PathJob+"?worker=probe", "application/json", strings.NewReader("{}"))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}
+}
+
+// tuneCoordinator arms the coordinator's startup barrier for the duration
+// of the test: these quick sweeps complete locally in tens of
+// milliseconds, so on a host running the full suite the coordinator
+// would otherwise finish and exit before the worker goroutines even get
+// scheduled — leaving them polling a gone coordinator forever. MinWorkers
+// counts the waitFabricUp probe, so pass the probe plus every real
+// worker. LocalDelay is widened too, keeping first refusal with the
+// workers once they have joined.
+func tuneCoordinator(t *testing.T, minWorkers int) {
+	t.Helper()
+	old := testCoordinatorTune
+	testCoordinatorTune = func(o *fabric.CoordinatorOptions) {
+		o.MinWorkers = minWorkers
+		o.LocalDelay = 2 * time.Second
+	}
+	t.Cleanup(func() { testCoordinatorTune = old })
+}
+
+// waitExit bounds a wait on a process goroutine's exit code: a hung
+// coordinator or worker fails the test with a diagnosis instead of
+// stalling the whole package at the test binary's deadline.
+func waitExit(t *testing.T, name string, ch <-chan int, d time.Duration) int {
+	t.Helper()
+	select {
+	case code := <-ch:
+		return code
+	case <-time.After(d):
+		t.Fatalf("%s did not exit within %v", name, d)
+		return -1
+	}
+}
+
+// TestChaosFabricCLIBitIdentical is the acceptance gate for the distributed
+// fabric: a coordinator plus two in-process workers — one killed mid-sweep,
+// one partitioned and healed — must emit stdout byte-identical to a plain
+// local run at -workers 1 and -workers 4, and every process's envelope must
+// land in one shared run ledger.
+func TestChaosFabricCLIBitIdentical(t *testing.T) {
+	argv := func(extra ...string) []string {
+		return append([]string{"fig6", "-quick", "-shots", "512", "-seed", "7", "-json"}, extra...)
+	}
+
+	// Local references: parallelism must not be a statistics knob.
+	var want1, want4, discard bytes.Buffer
+	if code := run(argv("-workers", "1", "-ledger-dir", "off"), &want1, &discard); code != exitOK {
+		t.Fatalf("local -workers 1 run exited %d: %s", code, discard.String())
+	}
+	discard.Reset()
+	if code := run(argv("-workers", "4", "-ledger-dir", "off"), &want4, &discard); code != exitOK {
+		t.Fatalf("local -workers 4 run exited %d: %s", code, discard.String())
+	}
+	if want1.String() != want4.String() {
+		t.Fatal("local runs at -workers 1 and -workers 4 differ; fabric comparison is meaningless")
+	}
+
+	ledgerDir := t.TempDir()
+	addr := freePort(t)
+	tuneCoordinator(t, 3) // probe + w-kill + w-part
+
+	// Chaos schedules: w-kill goes permanently silent after its 9th request
+	// (lease expiry must re-home its range); w-part loses requests 7-9 to a
+	// partition that heals (client retries with backoff must ride it out).
+	killNet := chaos.NewNet(nil).KillWorkerAfter(9)
+	partNet := chaos.NewNet(nil).PartitionFor(7, 3)
+	oldTransport := testWorkerTransport
+	testWorkerTransport = func(id string) http.RoundTripper {
+		switch id {
+		case "w-kill":
+			return killNet
+		case "w-part":
+			return partNet
+		}
+		return nil
+	}
+	defer func() { testWorkerTransport = oldTransport }()
+
+	var cout, cerr bytes.Buffer
+	coordDone := make(chan int, 1)
+	go func() {
+		coordDone <- run(argv("-workers", "1", "-fabric", addr, "-ledger-dir", ledgerDir), &cout, &cerr)
+	}()
+	waitFabricUp(t, addr, coordDone, &cerr)
+	stopProbe := make(chan struct{})
+	defer close(stopProbe)
+	go keepProbeAlive(addr, stopProbe)
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[string]int{}
+	for _, id := range []string{"w-kill", "w-part"} {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var wout, werr bytes.Buffer
+			code := workerMain([]string{"-connect", addr, "-id", id, "-workers", "1", "-ledger-dir", ledgerDir}, &wout, &werr)
+			mu.Lock()
+			codes[id] = code
+			mu.Unlock()
+		}(id)
+	}
+	workersDone := make(chan struct{})
+	go func() { wg.Wait(); close(workersDone) }()
+
+	code := waitExit(t, "coordinator", coordDone, 2*time.Minute)
+	select {
+	case <-workersDone:
+	case <-time.After(time.Minute):
+		t.Fatal("workers did not exit within 1m of the coordinator finishing (stuck polling a gone coordinator?)")
+	}
+	if code != exitOK {
+		t.Fatalf("coordinator exited %d: %s", code, cerr.String())
+	}
+	if cout.String() != want1.String() {
+		t.Fatalf("distributed output differs from local run:\n-- fabric --\n%s\n-- local --\n%s", cout.String(), want1.String())
+	}
+	if killNet.Drops() == 0 {
+		t.Error("kill schedule never fired: the sweep ended before w-kill's 9th request")
+	}
+	if partNet.Drops() == 0 {
+		t.Error("partition schedule never fired")
+	}
+	mu.Lock()
+	partCode := codes["w-part"]
+	mu.Unlock()
+	if partCode != exitOK {
+		t.Errorf("partitioned worker exited %d, want %d (the partition heals within the retry budget)", partCode, exitOK)
+	}
+
+	// Ledger: coordinator and both workers appended to one ledger.jsonl
+	// without tearing each other's lines.
+	data, err := os.ReadFile(filepath.Join(ledgerDir, ledger.FileName))
+	if err != nil {
+		t.Fatalf("read shared ledger: %v", err)
+	}
+	roles := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e ledger.Envelope
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("torn or invalid ledger line %q: %v", line, err)
+		}
+		if e.Fabric == nil {
+			t.Fatalf("envelope %s missing fabric stats", e.RunID)
+		}
+		roles[e.Fabric.Role]++
+	}
+	if roles["coordinator"] != 1 || roles["worker"] != 2 {
+		t.Fatalf("ledger roles = %v, want 1 coordinator + 2 workers", roles)
+	}
+	var lout, lerr bytes.Buffer
+	if code := run([]string{"runs", "list", "-ledger-dir", ledgerDir}, &lout, &lerr); code != exitOK {
+		t.Fatalf("runs list exited %d: %s", code, lerr.String())
+	}
+	if got := strings.Count(lout.String(), "fig6"); got < 3 {
+		t.Fatalf("runs list shows %d fig6 envelopes, want 3:\n%s", got, lout.String())
+	}
+}
+
+// TestChaosFabricCLICoordinatorResume kills the coordinator mid-sweep (a
+// real SIGINT raised at a deterministic shard boundary) and restarts it
+// against the same checkpoint — which doubles as the fabric's lease log —
+// with a worker attached. The resumed distributed run must not re-run
+// completed ranges and must print output bit-identical to an uninterrupted
+// local run.
+func TestChaosFabricCLICoordinatorResume(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.jsonl")
+	argv := func(extra ...string) []string {
+		return append([]string{"fig9", "-quick", "-shots", "512", "-seed", "7", "-ledger-dir", "off"}, extra...)
+	}
+
+	var want, discard bytes.Buffer
+	if code := run(argv(), &want, &discard); code != exitOK {
+		t.Fatalf("reference run exited %d: %s", code, discard.String())
+	}
+
+	// Phase 1: coordinator with no workers (degrades to local execution,
+	// journaling every shard), interrupted after 10 shards.
+	in := chaos.New(1).WithLatency(2*time.Millisecond).CancelAfter(10, func() {
+		syscall.Kill(syscall.Getpid(), syscall.SIGINT)
+	})
+	mc.SetFaultInjector(in)
+	var out1, err1 bytes.Buffer
+	code := run(argv("-checkpoint", ckpt, "-fabric", freePort(t)), &out1, &err1)
+	mc.SetFaultInjector(nil)
+	if code != exitInterrupted {
+		t.Fatalf("interrupted coordinator exited %d, want %d (stderr: %s)", code, exitInterrupted, err1.String())
+	}
+	if !strings.Contains(err1.String(), "run.interrupted") {
+		t.Fatalf("stderr missing interrupt event: %s", err1.String())
+	}
+
+	// Phase 2: fresh coordinator, same checkpoint, one clean worker. The
+	// latency injector stays (without the cancel hook) so the resumed sweep
+	// outlives the worker's join instead of completing locally in
+	// milliseconds.
+	mc.SetFaultInjector(chaos.New(1).WithLatency(2 * time.Millisecond))
+	defer mc.SetFaultInjector(nil)
+	addr := freePort(t)
+	tuneCoordinator(t, 2) // probe + w-clean
+	var out2, err2 bytes.Buffer
+	coordDone := make(chan int, 1)
+	go func() {
+		coordDone <- run(argv("-checkpoint", ckpt, "-fabric", addr), &out2, &err2)
+	}()
+	waitFabricUp(t, addr, coordDone, &err2)
+	stopProbe := make(chan struct{})
+	defer close(stopProbe)
+	go keepProbeAlive(addr, stopProbe)
+	var wout, werr bytes.Buffer
+	workerDone := make(chan int, 1)
+	go func() {
+		workerDone <- workerMain([]string{"-connect", addr, "-id", "w-clean", "-workers", "1", "-ledger-dir", "off"}, &wout, &werr)
+	}()
+	code = waitExit(t, "resumed coordinator", coordDone, 2*time.Minute)
+	waitExit(t, "worker w-clean", workerDone, time.Minute)
+	mc.SetFaultInjector(nil)
+	if code != exitOK {
+		t.Fatalf("resumed coordinator exited %d: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "run.checkpoint_resume") {
+		t.Fatalf("resumed coordinator did not adopt the lease log: %s", err2.String())
+	}
+	if out2.String() != want.String() {
+		t.Fatalf("resumed distributed output differs from uninterrupted local run:\n-- resumed --\n%s\n-- reference --\n%s",
+			out2.String(), want.String())
+	}
+}
+
+// TestTimeoutDeadlineInterrupts: a -timeout deadline must wind the run down
+// through the interrupt path — exit 3, checkpoint flushed — and a rerun
+// without the deadline resumes to output bit-identical to an undisturbed
+// run.
+func TestTimeoutDeadlineInterrupts(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "ck.jsonl")
+	argv := []string{"fig9", "-quick", "-shots", "512", "-seed", "7", "-checkpoint", ckpt, "-ledger-dir", "off"}
+
+	var want, discard bytes.Buffer
+	if code := run([]string{"fig9", "-quick", "-shots", "512", "-seed", "7", "-ledger-dir", "off"}, &want, &discard); code != exitOK {
+		t.Fatalf("reference run exited %d: %s", code, discard.String())
+	}
+
+	// Per-shard latency keeps the sweep in flight well past the deadline.
+	mc.SetFaultInjector(chaos.New(1).WithLatency(5 * time.Millisecond))
+	var out1, err1 bytes.Buffer
+	code := run(append(append([]string{}, argv...), "-timeout", "100ms"), &out1, &err1)
+	mc.SetFaultInjector(nil)
+	if code != exitInterrupted {
+		t.Fatalf("timed-out run exited %d, want %d (stderr: %s)", code, exitInterrupted, err1.String())
+	}
+	if !strings.Contains(err1.String(), "run.interrupted") {
+		t.Fatalf("stderr missing interrupt event: %s", err1.String())
+	}
+
+	var out2, err2 bytes.Buffer
+	if code := run(argv, &out2, &err2); code != exitOK {
+		t.Fatalf("resume run exited %d: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "run.checkpoint_resume") {
+		t.Fatalf("resume run did not report resumed shards: %s", err2.String())
+	}
+	if out2.String() != want.String() {
+		t.Fatalf("resumed output differs from undisturbed run:\n-- resumed --\n%s\n-- reference --\n%s",
+			out2.String(), want.String())
+	}
+}

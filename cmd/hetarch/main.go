@@ -7,7 +7,9 @@
 //	        [-progress] [-listen ADDR] [-record FILE] [-checkpoint FILE]
 //	        [-cache-dir DIR] [-cpuprofile FILE] [-memprofile FILE]
 //	        [-trace-out FILE] [-trace-sample N] [-log-format text|json]
-//	        [-ledger-dir DIR]
+//	        [-ledger-dir DIR] [-fabric ADDR] [-fabric-wait N] [-timeout D]
+//	hetarch coordinator <experiment> [flags]
+//	hetarch worker -connect ADDR [-id NAME] [-workers N]
 //	hetarch runs <list|show|diff|gc> [args]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
@@ -58,6 +60,17 @@
 // a warm re-run produces bit-identical stdout while skipping density-matrix
 // simulation entirely (cache accounting goes to stderr and -metrics).
 //
+// -fabric ADDR distributes the sweep: the process serves the fabric
+// protocol (internal/fabric) on ADDR and leases Monte Carlo shard ranges
+// to `hetarch worker -connect ADDR` processes, merging their tallies in
+// shard order for output byte-identical to a local run — at any cluster
+// size, including zero workers (local fallback; -fabric-wait N holds the
+// fallback until N workers have joined). `hetarch coordinator
+// <experiment>` is the same runner with -fabric defaulted to an ephemeral
+// port; with -checkpoint the file doubles as the lease/recovery log, so a
+// killed coordinator resumes byte-identically. -timeout D imposes a
+// whole-run deadline that exits with the interrupted code (3).
+//
 // Experiment results go to stdout; everything else — timing lines, the
 // -progress heartbeat, and the -metrics telemetry (counter snapshot plus
 // span tree) — goes to stderr, so `-json` output stays machine-parseable.
@@ -84,6 +97,7 @@ import (
 	"hetarch/internal/core"
 	dsecache "hetarch/internal/dse/cache"
 	"hetarch/internal/experiments"
+	"hetarch/internal/fabric"
 	"hetarch/internal/mc"
 	"hetarch/internal/mc/checkpoint"
 	"hetarch/internal/obs"
@@ -129,6 +143,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	traceSample := fs.Int("trace-sample", trace.DefaultSampleN, "trace every `N`th shard/point by index (1 = all; deterministic, never affects results)")
 	logFormat := fs.String("log-format", runlog.FormatText, "structured event-log format on stderr: text or json")
 	ledgerDir := fs.String("ledger-dir", "", "append this run's envelope to the run ledger in `dir` (default $HETARCH_LEDGER_DIR, then ~/.hetarch; \"off\" disables)")
+	fabricAddr := fs.String("fabric", "", "coordinate a distributed sweep: serve the fabric protocol on `addr` and lease Monte Carlo shard ranges to `hetarch worker` processes (results stay bit-identical to a local run)")
+	fabricWait := fs.Int("fabric-wait", 0, "with -fabric: hold local fallback until `N` workers have joined, so a short sweep cannot finish locally before the cluster starts up (0 = fall back immediately)")
+	timeout := fs.Duration("timeout", 0, "whole-run deadline; a run that exceeds it exits with the interrupted code (3), resumable via -checkpoint")
 	if len(args) == 0 {
 		fmt.Fprintln(stderr, "hetarch: missing experiment name")
 		usage(fs, stderr)
@@ -137,6 +154,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	name := args[0]
 	if name == "runs" {
 		return runsMain(args[1:], stdout, stderr)
+	}
+	if name == "worker" {
+		return workerMain(args[1:], stdout, stderr)
+	}
+	if name == "coordinator" {
+		// `hetarch coordinator <experiment> [flags]` is the runner with the
+		// fabric required: default to an ephemeral port when -fabric is
+		// absent (the bound address is announced via the event log).
+		rest := args[1:]
+		if len(rest) == 0 {
+			fmt.Fprintln(stderr, "hetarch: coordinator: missing experiment name")
+			usage(fs, stderr)
+			return exitUsage
+		}
+		hasFabric := false
+		for _, a := range rest {
+			if a == "-fabric" || strings.HasPrefix(a, "-fabric=") {
+				hasFabric = true
+			}
+		}
+		if !hasFabric {
+			rest = append(rest, "-fabric=127.0.0.1:0")
+		}
+		return run(rest, stdout, stderr)
 	}
 	if strings.HasPrefix(name, "-") {
 		fmt.Fprintf(stderr, "hetarch: first argument must be the experiment name, got flag %q\n", name)
@@ -149,13 +190,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// Flag validation: misconfiguration is a usage error (exit 2), reported
 	// before any work starts.
-	shotsSet, traceSampleSet := false, false
+	shotsSet, traceSampleSet, timeoutSet := false, false, false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "shots":
 			shotsSet = true
 		case "trace-sample":
 			traceSampleSet = true
+		case "timeout":
+			timeoutSet = true
 		}
 	})
 	if shotsSet && *shots <= 0 {
@@ -170,6 +213,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *traceSample < 1 {
 		fmt.Fprintf(stderr, "hetarch: -trace-sample must be >= 1, got %d\n", *traceSample)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if timeoutSet && *timeout <= 0 {
+		fmt.Fprintf(stderr, "hetarch: -timeout must be positive, got %v\n", *timeout)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if *fabricWait < 0 {
+		fmt.Fprintf(stderr, "hetarch: -fabric-wait must be >= 0, got %d\n", *fabricWait)
+		usage(fs, stderr)
+		return exitUsage
+	}
+	if *fabricWait > 0 && *fabricAddr == "" {
+		fmt.Fprintln(stderr, "hetarch: -fabric-wait has no effect without -fabric")
 		usage(fs, stderr)
 		return exitUsage
 	}
@@ -262,6 +320,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// drained, heartbeat stopped.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// The whole-run deadline rides the same cancellation path as a signal:
+	// shards stop dispatching, the checkpoint flushes, and the run exits
+	// with the interrupted code so a timed-out CI sweep is resumable.
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeout(ctx, *timeout)
+		defer cancelTimeout()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -336,6 +402,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// resumedFrom is the interrupted run whose checkpoint this run adopted
 	// (recorded in the ledger envelope as provenance).
 	resumedFrom := ""
+	var cpFile *checkpoint.File
 	if *ckptPath != "" {
 		meta := checkpoint.NewMeta("hetarch", name, scaleName, *seed, *shots)
 		meta.RunID = runID
@@ -351,11 +418,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 			lg.Info(runlog.EvCheckpointResume, "experiment", name, "path", *ckptPath,
 				"shards_done", n, "from_run", resumedFrom)
 		}
+		cpFile = cp
 		mc.SetCheckpoint(cp)
 		defer func() {
 			mc.SetCheckpoint(nil)
 			cp.Close()
 		}()
+	}
+
+	// -fabric turns this process into the sweep coordinator: Tally-shaped
+	// runs are leased to `hetarch worker` processes over HTTP and merged in
+	// shard order (bit-identical to a local run at any cluster size), with
+	// leftover ranges executed locally so the sweep completes even if the
+	// worker pool drains. The checkpoint, when present, doubles as the
+	// lease/recovery log.
+	var coord *fabric.Coordinator
+	if *fabricAddr != "" {
+		opts := fabric.CoordinatorOptions{
+			Addr:       *fabricAddr,
+			Spec:       fabric.JobSpec{RunID: runID, Experiment: name, Scale: scaleName, Seed: *seed, Shots: *shots},
+			MinWorkers: *fabricWait,
+		}
+		if cpFile != nil {
+			opts.Checkpoint = cpFile
+		}
+		testCoordinatorTune(&opts)
+		c, err := fabric.StartCoordinator(opts)
+		if err != nil {
+			fmt.Fprintln(stderr, "hetarch: fabric:", err)
+			return exitError
+		}
+		coord = c
+		ctx = mc.WithRemote(ctx, coord)
+		// Shutdown after the ledger envelope is appended (defers run LIFO):
+		// announces the job done, then gives connected workers a short grace
+		// to observe it before the listener closes.
+		defer coord.Shutdown(3 * time.Second)
 	}
 
 	// The persistent characterization cache is an optional store; without
@@ -394,32 +492,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *asJSON {
 		emit = tableJSON(stdout)
 	}
-	runners := map[string]func() error{
-		"devices": func() error { experiments.Table1(stdout); return nil },
-		"cells":   func() error { return experiments.Table2Store(stdout, charStore) },
-		"fig3":    emit(func() (*experiments.Table, error) { return experiments.Fig3(ctx, sc, *seed) }),
-		"fig4":    emit(func() (*experiments.Table, error) { return experiments.Fig4(ctx, sc, *seed) }),
-		"fig6":    emit(func() (*experiments.Table, error) { return experiments.Fig6(ctx, sc, *seed) }),
-		"fig7":    emit(func() (*experiments.Table, error) { return experiments.Fig7(ctx, sc, *seed) }),
-		"fig9":    emit(func() (*experiments.Table, error) { return experiments.Fig9(ctx, sc, *seed) }),
-		"table3":  emit(func() (*experiments.Table, error) { return experiments.Table3(ctx, sc, *seed) }),
-		"fig12":   emit(func() (*experiments.Table, error) { return experiments.Fig12(ctx, sc, *seed) }),
-		"table4":  emit(func() (*experiments.Table, error) { return experiments.Table4(ctx, sc, *seed) }),
-		"dse": emit(func() (*experiments.Table, error) {
-			r, err := experiments.DSE(ctx, experiments.DSEOptions{Workers: *workers, Store: charStore})
-			if err != nil {
-				return nil, err
-			}
-			// Cache accounting differs between cold and warm runs; it is
-			// telemetry, so it goes to stderr and stdout stays bit-identical
-			// across cache states.
-			r.FprintDSEStats(stderr)
-			return r.Table(), nil
-		}),
-		"devstudy": emit(func() (*experiments.Table, error) { return experiments.DeviceStudy(ctx, sc, *seed) }),
-		"capacity": emit(func() (*experiments.Table, error) { return experiments.CapacitySweep(ctx, sc, *seed) }),
-		"protocol": func() error { return experiments.ProtocolCheck(stdout, *seed) },
-	}
+	runners := buildRunners(ctx, sc, *seed, *workers, stdout, stderr, emit, charStore)
 
 	runStart := time.Now()
 	shotsBase, errsBase := totalShots(), totalErrors()
@@ -455,6 +528,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if runErr != nil {
 			e.Error = runErr.Error()
+		}
+		if coord != nil {
+			e.Fabric = coordinatorStats(coord)
 		}
 		add := func(kind, path, key string) {
 			if path == "" {
@@ -609,11 +685,14 @@ func knownExperiment(name string) bool {
 	return false
 }
 
-// interrupted reports whether the run error is the signal context being
-// cancelled (as opposed to a genuine failure that happens to wrap a context
-// error from elsewhere).
+// interrupted reports whether the run error is the run context dying — a
+// signal (context.Canceled) or the -timeout deadline (DeadlineExceeded) —
+// as opposed to a genuine failure that happens to wrap a context error
+// from elsewhere. Both exit 3: the checkpoint, if any, is flushed, and
+// re-running the same flags resumes.
 func interrupted(ctx context.Context, err error) bool {
-	return ctx.Err() != nil && errors.Is(err, context.Canceled)
+	return ctx.Err() != nil &&
+		(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // totalShots aggregates every logical-shot counter (surface.shots,
@@ -741,5 +820,7 @@ func writeTraceFile(path string) error {
 func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintf(w, "usage: hetarch <%s|all> [flags]\n", strings.Join(allOrder, "|"))
 	fmt.Fprintln(w, "       hetarch runs <list|show|diff|gc> [args]   (audit the run ledger)")
+	fmt.Fprintln(w, "       hetarch coordinator <experiment> [flags]  (distributed sweep; implies -fabric)")
+	fmt.Fprintln(w, "       hetarch worker -connect ADDR [flags]      (lease shard ranges from a coordinator)")
 	fs.PrintDefaults()
 }

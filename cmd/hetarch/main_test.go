@@ -50,6 +50,10 @@ func TestRunFlagValidation(t *testing.T) {
 		{"zero trace sample", []string{"fig9", "-trace-out", "t.json", "-trace-sample", "0"}, exitUsage, "-trace-sample must be >= 1"},
 		{"trace sample without sink", []string{"fig9", "-trace-sample", "4"}, exitUsage, "no effect without -trace-out or -listen"},
 		{"cpuprofile with listen", []string{"fig9", "-cpuprofile", "cpu.out", "-listen", "127.0.0.1:0"}, exitUsage, "would double-start the CPU profile"},
+		{"zero timeout", []string{"fig9", "-timeout", "0s"}, exitUsage, "-timeout must be positive"},
+		{"negative fabric-wait", []string{"fig9", "-fabric", "127.0.0.1:0", "-fabric-wait", "-1"}, exitUsage, "-fabric-wait must be >= 0"},
+		{"fabric-wait without fabric", []string{"fig9", "-fabric-wait", "2"}, exitUsage, "no effect without -fabric"},
+		{"worker without connect", []string{"worker"}, exitUsage, "-connect is required"},
 		{"ok no-MC experiment", []string{"devices"}, exitOK, ""},
 	}
 	for _, tc := range cases {

@@ -8,11 +8,18 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"runtime/debug"
 )
+
+// ErrNoBaselines reports an artifact that exists but holds no baselines —
+// a freshly created or truncated history file. Consumers that render
+// trends (cmd/benchtrend) treat it as "nothing to compare yet" rather than
+// a failure; match it with errors.Is.
+var ErrNoBaselines = errors.New("no baselines recorded yet")
 
 // Entry is one measured experiment within a baseline.
 type Entry struct {
@@ -171,7 +178,7 @@ func Read(r io.Reader, path string) ([]Baseline, error) {
 		out = append(out, b)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("%s: empty bench artifact", path)
+		return nil, fmt.Errorf("%s: empty bench artifact: %w", path, ErrNoBaselines)
 	}
 	return out, nil
 }

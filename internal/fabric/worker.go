@@ -1,0 +1,172 @@
+// Worker side of the fabric: the mc.Remote that leases shard ranges from
+// the coordinator, executes them on locally built shard runners, submits
+// the tallies, and blocks until the coordinator reports the run's merged
+// result — keeping the worker's experiment control flow in lockstep with
+// the coordinator's.
+package fabric
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hetarch/internal/mc"
+	"hetarch/internal/obs/runlog"
+)
+
+// WorkerEngine is a worker process's (or goroutine's) Remote. It owns its
+// own run-sequence counter, so installing it via mc.WithRemote numbers the
+// replayed experiment's runs exactly like the coordinator's.
+type WorkerEngine struct {
+	ID     string
+	Client *Client
+	// Poll is the wait between lease attempts when nothing is grantable
+	// (default DefaultPoll).
+	Poll time.Duration
+	// Draining is set by the SIGTERM handler: the engine finishes and
+	// submits its current lease, then stops taking new ones and waits only
+	// for the run results it still needs to stay in lockstep.
+	Draining atomic.Bool
+
+	runSeq atomic.Int64
+}
+
+// NewWorkerEngine builds a worker Remote with the given identity.
+func NewWorkerEngine(id string, client *Client) *WorkerEngine {
+	return &WorkerEngine{ID: id, Client: client, Poll: DefaultPoll}
+}
+
+// RunTally implements mc.Remote for the worker role. The worker derives
+// the run key from its own sequence counter — identical to the
+// coordinator's because both replay the same control flow — then loops:
+// lease a range, execute it (heartbeating), submit, until the coordinator
+// reports the run done and hands back the merged tally.
+func (w *WorkerEngine) RunTally(ctx context.Context, cfg mc.Config, newWorker func() mc.ShardRunner) (mc.Tally, error) {
+	key := mc.RunKey{Run: int(w.runSeq.Add(1)) - 1, Shots: cfg.Shots, Seed: cfg.Seed, ShardSize: cfg.ShardSizeOrDefault()}
+	shards := cfg.Shards()
+	poll := w.Poll
+	if poll <= 0 {
+		poll = DefaultPoll
+	}
+	var run mc.ShardRunner
+	for {
+		if err := ctx.Err(); err != nil {
+			return mc.Tally{}, &mc.PartialError{Cause: err, Shards: len(shards)}
+		}
+		resp, err := w.Client.Lease(ctx, LeaseRequest{Worker: w.ID, Key: key})
+		if err != nil {
+			// The coordinator is unreachable beyond the client's retry
+			// budget. The worker cannot make progress on this run — surface
+			// the error and let the caller decide (workerMain exits; the
+			// coordinator completes the sweep locally).
+			return mc.Tally{}, &mc.PartialError{Cause: err, Shards: len(shards)}
+		}
+		switch resp.Status {
+		case StatusDone:
+			return *resp.Tally, nil
+		case StatusError:
+			return mc.Tally{}, &mc.PartialError{Cause: &protocolError{msg: resp.ErrorMsg}, Shards: len(shards)}
+		case StatusWait:
+			select {
+			case <-ctx.Done():
+			case <-time.After(poll):
+			}
+			continue
+		case StatusLease:
+			// fall through to execution below
+		default:
+			return mc.Tally{}, &mc.PartialError{Cause: &protocolError{msg: "unknown lease status " + resp.Status}, Shards: len(shards)}
+		}
+		if w.Draining.Load() {
+			// A drain raced the lease grant: give the range back by letting
+			// the lease expire untouched, and keep polling for the merged
+			// result only.
+			select {
+			case <-ctx.Done():
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if run == nil {
+			run = newWorker()
+		}
+		w.executeLease(ctx, key, shards, resp, &run, newWorker)
+	}
+}
+
+// executeLease runs the granted range shard by shard, heartbeating the
+// lease from a side goroutine, and submits whatever prefix completed.
+// A lost lease (expired and possibly re-granted elsewhere) abandons the
+// remainder mid-range; the submission of the completed prefix is still
+// correct because tally acceptance is idempotent per shard.
+func (w *WorkerEngine) executeLease(ctx context.Context, key mc.RunKey, shards []mc.Shard, grant LeaseResponse, run *mc.ShardRunner, newWorker func() mc.ShardRunner) {
+	ttl := time.Duration(grant.TTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	hbCtx, stopHB := context.WithCancel(ctx)
+	var lost atomic.Bool
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+			}
+			resp, err := w.Client.Renew(hbCtx, RenewRequest{
+				Worker: w.ID, Key: key, Epoch: grant.Epoch, Start: grant.Start, End: grant.End,
+			})
+			if err == nil && !resp.OK {
+				runlog.L().Warn(evLeaseLost, "worker", w.ID, "run", key.Run, "start", grant.Start, "end", grant.End, "epoch", grant.Epoch)
+				lost.Store(true)
+				return
+			}
+		}
+	}()
+
+	var done []ShardTally
+	for i := grant.Start; i < grant.End && i < len(shards); i++ {
+		if ctx.Err() != nil || lost.Load() {
+			break
+		}
+		sh := shards[i]
+		t, fault := mc.RunShardIsolated(*run, sh, 1)
+		if fault != nil {
+			*run = newWorker()
+			t, fault = mc.RunShardIsolated(*run, sh, 2)
+		}
+		if fault != nil {
+			// A deterministic shard panic: leave the shard to the
+			// coordinator (whose local execution will surface the fault to
+			// the user) and abandon the rest of the range.
+			break
+		}
+		done = append(done, ShardTally{Index: sh.Index, Seed: sh.Seed, Shots: t.Shots, Errors: t.Errors})
+		// Drain request honored at a shard boundary: submit what finished.
+		if w.Draining.Load() {
+			break
+		}
+	}
+	stopHB()
+	hbWG.Wait()
+	if len(done) == 0 {
+		return
+	}
+	// Submit on a context that survives a SIGTERM-cancelled ctx briefly, so
+	// a draining worker still ships its completed prefix.
+	subCtx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		subCtx, cancel = context.WithTimeout(context.Background(), ttl)
+		defer cancel()
+	}
+	w.Client.Tally(subCtx, TallyRequest{
+		Worker: w.ID, Key: key, Epoch: grant.Epoch, Start: grant.Start, End: grant.End, Tallies: done,
+	})
+}

@@ -1,0 +1,199 @@
+// Network fault injection for the distributed sweep fabric: NetInjector is
+// an http.RoundTripper wrapper that perturbs the coordinator/worker
+// protocol deterministically — dropped requests, delayed responses,
+// duplicate deliveries, permanent worker death, timed partitions — so the
+// fabric's chaos suites can assert bit-identical merges under any fault
+// schedule without flaky sleeps or real processes dying.
+//
+// Faults are count-driven: each injector numbers the requests that pass
+// through it (1-based) and fires on configured request numbers, so the
+// same schedule replays identically across runs. PartitionFor is the one
+// duration-based fault — it models a network partition that heals — and is
+// anchored to a request number, not the wall clock.
+package chaos
+
+import (
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the synthetic transport error returned by dropped,
+// partitioned, and killed requests. It unwraps from the url.Error the
+// http.Client reports, and the fabric client treats it like any network
+// error: retry with backoff.
+var ErrInjected = errors.New("chaos: injected network fault")
+
+// netRule is one configured fault.
+type netRule struct {
+	pathSub string // substring match on the request path; "" matches all
+	from    int    // first request number (1-based) the rule applies to
+	to      int    // last request number; 0 = from only; -1 = forever
+	delay   time.Duration
+	drop    bool
+	dup     bool
+}
+
+func (r *netRule) matches(path string, n int) bool {
+	if r.pathSub != "" && !strings.Contains(path, r.pathSub) {
+		return false
+	}
+	if n < r.from {
+		return false
+	}
+	switch r.to {
+	case 0:
+		return n == r.from
+	case -1:
+		return true
+	default:
+		return n <= r.to
+	}
+}
+
+// NetInjector is a deterministic fault-injecting http.RoundTripper. Wrap a
+// worker client's transport with it; the zero value forwards everything
+// untouched. Configure before first use; the With/Kill/Partition methods
+// return the injector for chaining.
+type NetInjector struct {
+	// Transport is the wrapped RoundTripper; nil means
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+
+	mu    sync.Mutex
+	n     int // requests seen
+	rules []netRule
+	kill  int // request number after which everything fails; 0 = never
+	dups  int // duplicate deliveries performed
+	drops int // requests dropped (incl. partitioned and killed)
+}
+
+// NewNet returns an empty injector wrapping transport (nil =
+// http.DefaultTransport).
+func NewNet(transport http.RoundTripper) *NetInjector {
+	return &NetInjector{Transport: transport}
+}
+
+// DropRequest drops request number n whose path contains pathSub ("" = any
+// path): the request never reaches the server and fails with ErrInjected.
+func (ni *NetInjector) DropRequest(pathSub string, n int) *NetInjector {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	ni.rules = append(ni.rules, netRule{pathSub: pathSub, from: n, drop: true})
+	return ni
+}
+
+// DelayResponse delays the response of request number n (path containing
+// pathSub) by d — long enough to expire a lease if the test wants it to.
+func (ni *NetInjector) DelayResponse(pathSub string, n int, d time.Duration) *NetInjector {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	ni.rules = append(ni.rules, netRule{pathSub: pathSub, from: n, delay: d})
+	return ni
+}
+
+// DuplicateDelivery delivers request number n (path containing pathSub)
+// twice: the request body reaches the server two times back-to-back and
+// the caller sees the second response. Submitting a tally twice is the
+// canonical duplicate the coordinator's idempotency layer must absorb.
+func (ni *NetInjector) DuplicateDelivery(pathSub string, n int) *NetInjector {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	ni.rules = append(ni.rules, netRule{pathSub: pathSub, from: n, dup: true})
+	return ni
+}
+
+// KillWorkerAfter makes every request after the first n fail permanently
+// with ErrInjected — from the coordinator's point of view the worker went
+// silent mid-sweep: its lease expires and the range is re-granted.
+func (ni *NetInjector) KillWorkerAfter(n int) *NetInjector {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	ni.kill = n
+	return ni
+}
+
+// PartitionFor fails every request in the request-number window [from,
+// from+count) with ErrInjected, then heals — a network partition the
+// client's retry/backoff and the coordinator's lease expiry must both
+// survive.
+func (ni *NetInjector) PartitionFor(from, count int) *NetInjector {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	ni.rules = append(ni.rules, netRule{from: from, to: from + count - 1, drop: true})
+	return ni
+}
+
+// Drops reports how many requests the injector has failed (dropped,
+// partitioned, or killed).
+func (ni *NetInjector) Drops() int {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	return ni.drops
+}
+
+// Dups reports how many duplicate deliveries the injector has performed.
+func (ni *NetInjector) Dups() int {
+	ni.mu.Lock()
+	defer ni.mu.Unlock()
+	return ni.dups
+}
+
+// RoundTrip implements http.RoundTripper.
+func (ni *NetInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	ni.mu.Lock()
+	ni.n++
+	n := ni.n
+	killed := ni.kill > 0 && n > ni.kill
+	var delay time.Duration
+	drop, dup := killed, false
+	if !drop {
+		for i := range ni.rules {
+			r := &ni.rules[i]
+			if !r.matches(req.URL.Path, n) {
+				continue
+			}
+			drop = drop || r.drop
+			dup = dup || r.dup
+			if r.delay > delay {
+				delay = r.delay
+			}
+		}
+	}
+	if drop {
+		ni.drops++
+	}
+	if dup {
+		ni.dups++
+	}
+	ni.mu.Unlock()
+
+	if drop {
+		return nil, ErrInjected
+	}
+	rt := ni.Transport
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if dup {
+		// First delivery: clone the request so the body can be read twice.
+		// GetBody is always set for client requests built from a
+		// bytes.Reader (the fabric client's case).
+		if req.GetBody != nil {
+			if body, err := req.GetBody(); err == nil {
+				first := req.Clone(req.Context())
+				first.Body = body
+				if resp, err := rt.RoundTrip(first); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}
+	resp, err := rt.RoundTrip(req)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return resp, err
+}

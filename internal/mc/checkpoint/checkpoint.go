@@ -132,21 +132,41 @@ type entryVal struct {
 // it with mc.SetCheckpoint. Methods are safe for concurrent use by the
 // engine's workers; every Record is flushed to the OS before returning.
 type File struct {
-	mu      sync.Mutex
-	f       *os.File
-	enc     *json.Encoder
-	meta    Meta
-	done    map[entryKey]entryVal
-	resumed int
-	closed  bool
+	mu       sync.Mutex
+	f        *os.File
+	enc      *json.Encoder
+	meta     Meta
+	done     map[entryKey]entryVal
+	resumed  int
+	closed   bool
+	lockPath string
 }
 
 // Open loads the checkpoint at path, validating that it belongs to the run
 // described by meta, or creates a fresh one if the file does not exist.
 // A crash-truncated trailing line is dropped (and the file rewritten
 // without it so subsequent appends start on a clean line boundary).
+//
+// Open first takes a pid+run-ID lockfile beside the JSONL (see lock.go):
+// a checkpoint held by a live run fails with ErrLocked so two processes
+// can never interleave shard records, while a lock left by a dead process
+// is taken over silently. Close releases the lock.
 func Open(path string, meta Meta) (*File, error) {
 	meta.Type = "checkpoint"
+	lockPath, err := acquireLock(path, meta.RunID)
+	if err != nil {
+		return nil, err
+	}
+	cf, err := open(path, meta)
+	if err != nil {
+		os.Remove(lockPath)
+		return nil, err
+	}
+	cf.lockPath = lockPath
+	return cf, nil
+}
+
+func open(path string, meta Meta) (*File, error) {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return create(path, meta)
@@ -318,8 +338,9 @@ func (f *File) Record(key mc.RunKey, sh mc.Shard, t mc.Tally) error {
 	return nil
 }
 
-// Close closes the file. Records already written are durable; Close exists
-// to release the handle, not to finalize.
+// Close closes the file and releases the double-writer lock. Records
+// already written are durable; Close exists to release the handle and the
+// lock, not to finalize.
 func (f *File) Close() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -327,5 +348,9 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
-	return f.f.Close()
+	err := f.f.Close()
+	if f.lockPath != "" {
+		os.Remove(f.lockPath)
+	}
+	return err
 }

@@ -1,0 +1,93 @@
+// Double-writer guard: a pid+run-ID lockfile beside the checkpoint JSONL.
+// Two processes appending shard records to one file would interleave
+// records from different run sequences — each line is valid JSON, but the
+// union is a checkpoint of no run that ever happened. Open therefore takes
+// an exclusive lockfile first and refuses a checkpoint held by a live
+// process; a lock whose owner died (crash, OOM kill) is stale and is taken
+// over so crash recovery never needs manual cleanup.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+
+	"hetarch/internal/obs/runlog"
+)
+
+var (
+	evLockTakeover = runlog.Event("mc.checkpoint_lock_takeover")
+
+	// ErrLocked reports a checkpoint held by a live run. Callers can match
+	// it with errors.Is to distinguish "busy" from I/O failures.
+	ErrLocked = errors.New("checkpoint: held by a live run")
+)
+
+// lockInfo is the lockfile's JSON payload.
+type lockInfo struct {
+	PID       int    `json:"pid"`
+	RunID     string `json:"run_id,omitempty"`
+	CreatedAt string `json:"created_at,omitempty"` // RFC3339
+}
+
+// LockPath returns the lockfile path guarding the checkpoint at path.
+func LockPath(path string) string { return path + ".lock" }
+
+// pidAlive reports whether a process with the given pid exists. On Unix,
+// signal 0 probes existence without delivering anything; EPERM means the
+// process exists but belongs to someone else — still alive.
+func pidAlive(pid int) bool {
+	if pid <= 0 {
+		return false
+	}
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	err = p.Signal(syscall.Signal(0))
+	return err == nil || errors.Is(err, syscall.EPERM)
+}
+
+// acquireLock takes the exclusive lockfile beside path. A lockfile owned by
+// a dead process (or unreadable — a torn write from a crash mid-create) is
+// stale: it is removed and the acquisition retried once. A lockfile owned
+// by a live process fails with ErrLocked.
+func acquireLock(path, runID string) (lockPath string, err error) {
+	lockPath = LockPath(path)
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(lockPath, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			info := lockInfo{PID: os.Getpid(), RunID: runID, CreatedAt: time.Now().UTC().Format(time.RFC3339)}
+			werr := json.NewEncoder(f).Encode(info)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lockPath)
+				return "", fmt.Errorf("checkpoint: write lock %s: %w", lockPath, werr)
+			}
+			return lockPath, nil
+		}
+		if !os.IsExist(err) {
+			return "", fmt.Errorf("checkpoint: lock %s: %w", lockPath, err)
+		}
+		data, rerr := os.ReadFile(lockPath)
+		var held lockInfo
+		if rerr == nil && json.Unmarshal(data, &held) == nil && pidAlive(held.PID) {
+			return "", fmt.Errorf("%w: %s (pid %d, run %s); if that run is gone, delete %s",
+				ErrLocked, path, held.PID, held.RunID, lockPath)
+		}
+		// Stale (owner dead) or torn (unparseable): take it over.
+		runlog.L().Warn(evLockTakeover, "path", path, "stale_pid", held.PID, "stale_run", held.RunID)
+		if rerr := os.Remove(lockPath); rerr != nil && !os.IsNotExist(rerr) {
+			return "", fmt.Errorf("checkpoint: remove stale lock %s: %w", lockPath, rerr)
+		}
+	}
+	// Two takeover rounds lost the O_EXCL race both times: a live
+	// contender owns the lock.
+	return "", fmt.Errorf("%w: %s (lost lock race); retry, or delete %s if no run is live",
+		ErrLocked, path, lockPath)
+}

@@ -1,0 +1,109 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLockRefusesLiveHolder: a checkpoint whose lockfile names a live
+// process (here: this test process) must refuse to open with ErrLocked and
+// must not disturb the holder's lock.
+func TestLockRefusesLiveHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	first, err := Open(path, meta())
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	defer first.Close()
+
+	_, err = Open(path, meta())
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open err = %v, want ErrLocked", err)
+	}
+	if _, serr := os.Stat(LockPath(path)); serr != nil {
+		t.Fatalf("failed second open removed the holder's lock: %v", serr)
+	}
+}
+
+// TestLockStaleTakeover: a lockfile owned by a dead pid — the crash-recovery
+// case — is taken over silently, and a torn lockfile (crash mid-create) is
+// treated the same.
+func TestLockStaleTakeover(t *testing.T) {
+	for name, payload := range map[string][]byte{
+		"dead pid": mustJSON(t, lockInfo{PID: 1 << 30, RunID: "ghost"}),
+		"torn":     []byte(`{"pid": 123`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "ck.jsonl")
+			if err := os.WriteFile(LockPath(path), payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			cf, err := Open(path, meta())
+			if err != nil {
+				t.Fatalf("open over stale lock: %v", err)
+			}
+			var held lockInfo
+			data, err := os.ReadFile(LockPath(path))
+			if err != nil || json.Unmarshal(data, &held) != nil {
+				t.Fatalf("lock not rewritten after takeover: %v (%s)", err, data)
+			}
+			if held.PID != os.Getpid() {
+				t.Fatalf("lock pid = %d, want %d (ours)", held.PID, os.Getpid())
+			}
+			cf.Close()
+		})
+	}
+}
+
+// TestLockReleasedOnClose: Close must remove the lockfile so the next run
+// (the resume) opens without a takeover.
+func TestLockReleasedOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	cf, err := Open(path, meta())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if err := cf.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := os.Stat(LockPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("lock survived Close: stat err = %v", err)
+	}
+	// And a reopen is an ordinary resume, not a takeover.
+	cf2, err := Open(path, meta())
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	cf2.Close()
+}
+
+// TestLockFailedOpenReleases: when Open fails after the lock is taken (here:
+// a metadata mismatch with the existing file), the lock must not leak.
+func TestLockFailedOpenReleases(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	cf, err := Open(path, meta())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	cf.Close()
+
+	other := NewMeta("test", "unit", "quick", 8, 0) // different seed
+	if _, err := Open(path, other); err == nil {
+		t.Fatal("open with mismatched meta succeeded")
+	}
+	if _, err := os.Stat(LockPath(path)); !os.IsNotExist(err) {
+		t.Fatalf("failed open leaked the lock: stat err = %v", err)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -355,6 +355,13 @@ func mergeTraced(shards int, fold func()) {
 // recorded durably after it completes, so killing the process at any shard
 // boundary loses at most the in-flight shards.
 func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (Tally, error) {
+	// A context-scoped Remote (the distributed sweep fabric) takes over the
+	// whole run before any local run numbering or checkpoint activity: the
+	// remote engine owns its own run-sequence counter so coordinator and
+	// worker processes number their runs identically.
+	if rem := RemoteFrom(ctx); rem != nil {
+		return rem.RunTally(ctx, cfg, newWorker)
+	}
 	cp, _ := currentHooks()
 	key := RunKey{Run: int(runSeq.Add(1)) - 1, Shots: cfg.Shots, Seed: cfg.Seed, ShardSize: cfg.shardSize()}
 

@@ -18,6 +18,10 @@ import (
 	// experiments does not reach (only the CLI wires the run ledger in).
 	_ "hetarch/internal/obs/ledger"
 	_ "hetarch/internal/obs/recorder"
+
+	// Register the fabric.* metrics and events (only the CLI and the fabric
+	// tests reach the distributed layer).
+	_ "hetarch/internal/fabric"
 )
 
 // metricName is the registry's naming convention: a lowercase package

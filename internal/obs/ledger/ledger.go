@@ -154,9 +154,28 @@ type Envelope struct {
 	Error       string   `json:"error,omitempty"`
 	// ResumedFrom is the run ID of the interrupted run whose checkpoint
 	// this run resumed, when they differ.
-	ResumedFrom string     `json:"resumed_from,omitempty"`
-	Metrics     *Headline  `json:"metrics,omitempty"`
-	Artifacts   []Artifact `json:"artifacts,omitempty"`
+	ResumedFrom string       `json:"resumed_from,omitempty"`
+	Metrics     *Headline    `json:"metrics,omitempty"`
+	Artifacts   []Artifact   `json:"artifacts,omitempty"`
+	Fabric      *FabricStats `json:"fabric,omitempty"`
+}
+
+// FabricStats records a distributed-fabric run's cluster composition and
+// fault counters: how many workers took part, how the lease machinery
+// behaved (grants, expiries), and how much robustness machinery actually
+// fired (duplicate tallies dropped, client retries, locally executed
+// shards). Coordinator and worker envelopes both carry one, distinguished
+// by Role.
+type FabricStats struct {
+	Role             string `json:"role"` // "coordinator" or "worker"
+	Addr             string `json:"addr,omitempty"`
+	Workers          int    `json:"workers,omitempty"` // distinct workers seen (coordinator)
+	LeasesGranted    int64  `json:"leases_granted,omitempty"`
+	LeasesExpired    int64  `json:"leases_expired,omitempty"`
+	TalliesAccepted  int64  `json:"tallies_accepted,omitempty"`
+	TallyDupsDropped int64  `json:"tally_dups_dropped,omitempty"`
+	LocalShards      int64  `json:"local_shards,omitempty"`
+	Retries          int64  `json:"retries,omitempty"` // HTTP client retries (worker)
 }
 
 // Ledger is an open, append-only run journal. Append is safe for

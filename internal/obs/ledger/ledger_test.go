@@ -169,6 +169,64 @@ func TestConcurrentAppendsTwoHandles(t *testing.T) {
 	}
 }
 
+// TestConcurrentFabricAppends models a distributed sweep's ledger traffic:
+// a coordinator plus N workers, each with its own handle on one
+// ledger.jsonl (separate processes, in effect), appending envelopes that
+// carry fabric cluster stats. Every line must stay whole and the Fabric
+// field must round-trip, so `runs list` after a sweep shows every process.
+func TestConcurrentFabricAppends(t *testing.T) {
+	dir := t.TempDir()
+	const workers = 4
+	const perWriter = 25
+	role := func(w int) *ledger.FabricStats {
+		if w == 0 {
+			return &ledger.FabricStats{Role: "coordinator", Addr: "127.0.0.1:9", Workers: workers, LeasesGranted: 7, LocalShards: 3}
+		}
+		return &ledger.FabricStats{Role: "worker", Addr: "127.0.0.1:9", Retries: int64(w)}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w <= workers; w++ {
+		l, err := ledger.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		wg.Add(1)
+		go func(w int, l *ledger.Ledger) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				e := env(fmt.Sprintf("fabric%d-%04d-%s", w, i, strings.Repeat("x", 200)))
+				e.Fabric = role(w)
+				if err := l.Append(e); err != nil {
+					t.Errorf("writer %d append %d: %v", w, i, err)
+					return
+				}
+			}
+		}(w, l)
+	}
+	wg.Wait()
+	lg, err := ledger.ReadFile(filepath.Join(dir, ledger.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.Truncated || lg.Skipped != 0 {
+		t.Fatalf("interleaved fabric appends tore lines: truncated=%v skipped=%d", lg.Truncated, lg.Skipped)
+	}
+	if len(lg.Envelopes) != (workers+1)*perWriter {
+		t.Fatalf("got %d envelopes, want %d", len(lg.Envelopes), (workers+1)*perWriter)
+	}
+	roles := map[string]int{}
+	for _, e := range lg.Envelopes {
+		if e.Fabric == nil {
+			t.Fatalf("envelope %q lost its fabric stats", e.RunID)
+		}
+		roles[e.Fabric.Role]++
+	}
+	if roles["coordinator"] != perWriter || roles["worker"] != workers*perWriter {
+		t.Fatalf("fabric roles = %v, want %d coordinator + %d worker", roles, perWriter, workers*perWriter)
+	}
+}
+
 func TestFindPrefix(t *testing.T) {
 	lg := &ledger.Log{Envelopes: []ledger.Envelope{
 		env("01aaaaaaaaaaaaaaaaaaaaaaaa"),
