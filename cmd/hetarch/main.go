@@ -10,6 +10,7 @@
 //	        [-ledger-dir DIR] [-fabric ADDR] [-fabric-wait N] [-timeout D]
 //	hetarch coordinator <experiment> [flags]
 //	hetarch worker -connect ADDR [-id NAME] [-workers N]
+//	hetarch serve -data-dir DIR [-listen ADDR] [flags]
 //	hetarch runs <list|show|diff|gc> [args]
 //
 // where experiment is one of: devices (Table 1), cells (Table 2), fig3,
@@ -70,6 +71,14 @@
 // port; with -checkpoint the file doubles as the lease/recovery log, so a
 // killed coordinator resumes byte-identically. -timeout D imposes a
 // whole-run deadline that exits with the interrupted code (3).
+//
+// `hetarch serve` runs the process as hetarchd, a long-lived multi-tenant
+// experiment service: POST specs to /jobs, poll or SSE-follow job state,
+// and fetch output artifacts over HTTP. Jobs are scheduled FIFO within
+// priority on a bounded worker pool with per-tenant limits, deduplicated
+// by spec fingerprint, journaled durably (a restarted daemon resumes
+// running jobs from their checkpoints), and stamped into the run ledger.
+// See API.md for the wire contract and daemon.go for the architecture.
 //
 // Experiment results go to stdout; everything else — timing lines, the
 // -progress heartbeat, and the -metrics telemetry (counter snapshot plus
@@ -157,6 +166,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if name == "worker" {
 		return workerMain(args[1:], stdout, stderr)
+	}
+	if name == "serve" {
+		return daemonMain(args[1:], stdout, stderr)
 	}
 	if name == "coordinator" {
 		// `hetarch coordinator <experiment> [flags]` is the runner with the
@@ -822,5 +834,6 @@ func usage(fs *flag.FlagSet, w io.Writer) {
 	fmt.Fprintln(w, "       hetarch runs <list|show|diff|gc> [args]   (audit the run ledger)")
 	fmt.Fprintln(w, "       hetarch coordinator <experiment> [flags]  (distributed sweep; implies -fabric)")
 	fmt.Fprintln(w, "       hetarch worker -connect ADDR [flags]      (lease shard ranges from a coordinator)")
+	fmt.Fprintln(w, "       hetarch serve -data-dir DIR [flags]       (multi-tenant job service; see API.md)")
 	fs.PrintDefaults()
 }

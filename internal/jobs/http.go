@@ -1,0 +1,187 @@
+// The job service's HTTP surface, mounted under /jobs on the telemetry
+// mux (internal/obs/serve). The full wire contract — request/response
+// schemas, status codes, SSE framing — is documented in API.md.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+)
+
+// SubmitRequest is POST /jobs's body: the spec plus scheduling hints.
+type SubmitRequest struct {
+	Spec     Spec   `json:"spec"`
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+}
+
+// maxSubmitBody bounds POST /jobs request bodies.
+const maxSubmitBody = 1 << 20
+
+// Handler returns the job API handler. Routes (Go 1.22 pattern syntax):
+//
+//	POST   /jobs               submit a spec → 201 (or 200 on dedup hit)
+//	GET    /jobs               list all jobs, newest first
+//	GET    /jobs/{id}          one job's snapshot
+//	DELETE /jobs/{id}          cooperative cancel
+//	GET    /jobs/{id}/events   SSE stream of state/progress events
+//	GET    /jobs/{id}/output   the job's output artifact (once done)
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleSubmit)
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Jobs []Job `json:"jobs"`
+		}{Jobs: m.List()})
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			jsonError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, j)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, err := m.Cancel(r.PathValue("id"))
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, j)
+		case errors.Is(err, ErrTerminal):
+			jsonError(w, http.StatusConflict, fmt.Sprintf("job is already %s", j.State))
+		default:
+			jsonError(w, http.StatusNotFound, "no such job")
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", m.handleEvents)
+	mux.HandleFunc("GET /jobs/{id}/output", m.handleOutput)
+	return mux
+}
+
+func (m *Manager) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxSubmitBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		jsonError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, dup, err := m.Submit(req.Spec, req.Tenant, req.Priority)
+	switch {
+	case err == nil:
+		// 201 for a freshly created job, 200 for a dedup hit: the duplicate
+		// submission did not create a resource, it found one.
+		code := http.StatusCreated
+		if dup {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, j)
+	case errors.Is(err, ErrQueueFull):
+		jsonError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, ErrClosed):
+		jsonError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		jsonError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleEvents streams the job's state/progress events as Server-Sent
+// Events. The first frame is the current state (a late subscriber is
+// never blind); the stream closes after a terminal state is sent.
+func (m *Manager) handleEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		jsonError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before snapshotting so no transition can fall in between.
+	ch, cancel, err := m.Subscribe(id)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	defer cancel()
+	j, _ := m.Get(id)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	send := func(e Event) bool {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Type, b); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	first := Event{Type: "state", JobID: j.ID, State: j.State, ShotsDone: j.ShotsDone, Error: j.Error, At: now()}
+	if !send(first) || Terminal(j.State) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, ok := <-ch:
+			if !ok {
+				return
+			}
+			if !send(e) || (e.Type == "state" && Terminal(e.State)) {
+				return
+			}
+		}
+	}
+}
+
+// handleOutput serves the job's primary output artifact (output.txt or
+// output.json in the job directory) once the job is done — what a CI
+// smoke cmp-checks against a direct run.
+func (m *Manager) handleOutput(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := m.Get(id)
+	if !ok {
+		jsonError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if j.State != StateDone {
+		jsonError(w, http.StatusConflict, fmt.Sprintf("job is %s, output exists only once done", j.State))
+		return
+	}
+	for _, name := range []string{"output.txt", "output.json"} {
+		path := filepath.Join(m.JobDir(id), name)
+		if _, err := os.Stat(path); err == nil {
+			ctype := "text/plain; charset=utf-8"
+			if filepath.Ext(name) == ".json" {
+				ctype = "application/json"
+			}
+			w.Header().Set("Content-Type", ctype)
+			http.ServeFile(w, r, path)
+			return
+		}
+	}
+	jsonError(w, http.StatusNotFound, "job has no output artifact")
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// jsonError mirrors internal/obs/serve's machine-parseable error bodies.
+func jsonError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

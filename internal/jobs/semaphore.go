@@ -1,0 +1,136 @@
+// Weighted semaphore: the job scheduler's concurrency primitive.
+//
+// The pool's capacity is a weight budget (by convention, worker
+// goroutines), and each job acquires its resolved worker count, so a
+// daemon on an 8-way box can run two 4-worker jobs or eight serial ones —
+// the bound is load, not job count. Waiters are strictly FIFO: a heavy
+// job at the head of the wait queue is never starved by light jobs
+// arriving behind it (no barging), which is what makes the scheduler's
+// FIFO-within-priority discipline real under contention.
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Semaphore is a weighted counting semaphore with FIFO waiters. The zero
+// value is unusable; create one with NewSemaphore.
+type Semaphore struct {
+	size    int64
+	mu      sync.Mutex
+	cur     int64
+	waiters list.List // of *waiter, FIFO
+}
+
+type waiter struct {
+	n     int64
+	ready chan struct{} // closed when the waiter's weight is granted
+}
+
+// NewSemaphore returns a semaphore admitting at most size units of weight
+// concurrently.
+func NewSemaphore(size int64) *Semaphore {
+	if size < 1 {
+		panic(fmt.Sprintf("jobs: semaphore size %d < 1", size))
+	}
+	return &Semaphore{size: size}
+}
+
+// Size returns the semaphore's capacity.
+func (s *Semaphore) Size() int64 { return s.size }
+
+// InUse returns the weight currently held.
+func (s *Semaphore) InUse() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// TryAcquire acquires n units of weight without blocking, reporting
+// whether it succeeded. It fails when the weight is unavailable OR when
+// earlier waiters are queued — barging past the FIFO would starve them.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	s.check(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		return true
+	}
+	return false
+}
+
+// Acquire blocks until n units of weight are available (in FIFO order
+// behind earlier waiters) or ctx is done, in which case it returns ctx's
+// error without holding any weight.
+func (s *Semaphore) Acquire(ctx context.Context, n int64) error {
+	s.check(n)
+	s.mu.Lock()
+	if s.cur+n <= s.size && s.waiters.Len() == 0 {
+		s.cur += n
+		s.mu.Unlock()
+		return nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	elem := s.waiters.PushBack(w)
+	s.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		select {
+		case <-w.ready:
+			// Granted concurrently with cancellation: keep the grant
+			// coherent by releasing it, then report the cancellation.
+			s.cur -= w.n
+			s.grant()
+		default:
+			s.waiters.Remove(elem)
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns n units of weight to the pool and wakes queued waiters
+// in FIFO order.
+func (s *Semaphore) Release(n int64) {
+	s.check(n)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur -= n
+	if s.cur < 0 {
+		panic("jobs: semaphore released more than held")
+	}
+	s.grant()
+}
+
+// grant hands freed weight to the head of the wait queue, stopping at the
+// first waiter that does not fit — strict FIFO, no barging. Callers hold
+// s.mu.
+func (s *Semaphore) grant() {
+	for {
+		head := s.waiters.Front()
+		if head == nil {
+			return
+		}
+		w := head.Value.(*waiter)
+		if s.cur+w.n > s.size {
+			return
+		}
+		s.cur += w.n
+		s.waiters.Remove(head)
+		close(w.ready)
+	}
+}
+
+func (s *Semaphore) check(n int64) {
+	if n < 1 || n > s.size {
+		panic(fmt.Sprintf("jobs: semaphore weight %d out of range [1, %d]", n, s.size))
+	}
+}

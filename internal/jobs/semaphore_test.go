@@ -1,0 +1,117 @@
+package jobs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemaphoreWeighted(t *testing.T) {
+	s := NewSemaphore(4)
+	if !s.TryAcquire(3) {
+		t.Fatal("TryAcquire(3) on an empty size-4 semaphore failed")
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) with 3/4 held succeeded")
+	}
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) with 3/4 held failed")
+	}
+	if got := s.InUse(); got != 4 {
+		t.Fatalf("InUse = %d, want 4", got)
+	}
+	s.Release(4)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse after release = %d, want 0", got)
+	}
+}
+
+// A heavy waiter at the head of the queue must block lighter latecomers:
+// no barging, or the scheduler's FIFO promise is fiction under load.
+func TestSemaphoreFIFONoBarging(t *testing.T) {
+	s := NewSemaphore(4)
+	if !s.TryAcquire(3) {
+		t.Fatal("setup acquire failed")
+	}
+	granted := make(chan struct{})
+	go func() {
+		if err := s.Acquire(context.Background(), 3); err != nil {
+			t.Error("Acquire:", err)
+		}
+		close(granted)
+	}()
+	// Wait until the heavy acquirer is queued.
+	for i := 0; ; i++ {
+		s.mu.Lock()
+		n := s.waiters.Len()
+		s.mu.Unlock()
+		if n == 1 {
+			break
+		}
+		if i > 1000 {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// One unit is free, but the queued 3-unit waiter must win it first.
+	if s.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) barged past a queued waiter")
+	}
+	s.Release(3)
+	select {
+	case <-granted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter was not granted after release")
+	}
+	if !s.TryAcquire(1) {
+		t.Fatal("TryAcquire(1) failed with 3/4 held and no waiters")
+	}
+}
+
+func TestSemaphoreAcquireCancel(t *testing.T) {
+	s := NewSemaphore(1)
+	if !s.TryAcquire(1) {
+		t.Fatal("setup acquire failed")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire(ctx, 1) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Acquire after cancel = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled Acquire never returned")
+	}
+	// The cancelled waiter must not have leaked weight.
+	s.Release(1)
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after full release, want 0", got)
+	}
+}
+
+func TestSemaphoreConcurrentStress(t *testing.T) {
+	s := NewSemaphore(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(w int64) {
+			defer wg.Done()
+			if err := s.Acquire(context.Background(), w); err != nil {
+				t.Error("Acquire:", err)
+				return
+			}
+			if held := s.InUse(); held > 8 {
+				t.Errorf("InUse = %d exceeds capacity 8", held)
+			}
+			s.Release(w)
+		}(int64(1 + i%8))
+	}
+	wg.Wait()
+	if got := s.InUse(); got != 0 {
+		t.Fatalf("InUse = %d after all releases, want 0", got)
+	}
+}

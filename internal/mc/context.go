@@ -144,11 +144,45 @@ var (
 // consulted by every RunContext call, and resets the run-sequence counter
 // so a resuming process numbers its runs identically to the interrupted
 // one. Call it before the experiment starts, never mid-run.
+//
+// A process that runs a single experiment at a time (the CLI) can use this
+// global hook; a process multiplexing several experiments concurrently
+// (the hetarchd job service) must give each its own store via
+// WithCheckpoint, which also scopes the run-sequence numbering.
 func SetCheckpoint(c Checkpoint) {
 	hookMu.Lock()
 	ckptStore = c
 	hookMu.Unlock()
 	runSeq.Store(0)
+}
+
+// ckptScope is a context-scoped checkpoint binding: the store plus its own
+// run-sequence counter, so two experiments running concurrently in one
+// process each number their sub-runs 0, 1, 2, ... exactly as a solo run
+// would — the property that makes a job's checkpoint resumable regardless
+// of what else the process was executing at the time.
+type ckptScope struct {
+	cp  Checkpoint
+	seq atomic.Int64
+}
+
+type ckptScopeKey struct{}
+
+// WithCheckpoint returns a context that binds every RunContext call under
+// it to its own checkpoint store and run-sequence counter, overriding the
+// process-global SetCheckpoint hook. Unlike SetCheckpoint it is safe for
+// any number of concurrent scopes: each scope numbers its runs
+// independently from zero, in the deterministic order the experiment code
+// issues them. A nil store yields a scope that checkpoints nothing (but
+// still isolates run numbering).
+func WithCheckpoint(ctx context.Context, cp Checkpoint) context.Context {
+	return context.WithValue(ctx, ckptScopeKey{}, &ckptScope{cp: cp})
+}
+
+// checkpointScope returns the scope carried by ctx, or nil.
+func checkpointScope(ctx context.Context) *ckptScope {
+	s, _ := ctx.Value(ckptScopeKey{}).(*ckptScope)
+	return s
 }
 
 // SetFaultInjector installs (nil removes) the chaos hook. Tests only.
@@ -362,8 +396,20 @@ func RunContext(ctx context.Context, cfg Config, newWorker func() ShardRunner) (
 	if rem := RemoteFrom(ctx); rem != nil {
 		return rem.RunTally(ctx, cfg, newWorker)
 	}
-	cp, _ := currentHooks()
-	key := RunKey{Run: int(runSeq.Add(1)) - 1, Shots: cfg.Shots, Seed: cfg.Seed, ShardSize: cfg.shardSize()}
+	// A context-scoped checkpoint binding (WithCheckpoint) shadows the
+	// process-global hook AND the global run-sequence counter: scoped runs
+	// number themselves within their scope, so concurrent scopes cannot
+	// perturb each other's checkpoint keys.
+	var cp Checkpoint
+	var runNo int
+	if scope := checkpointScope(ctx); scope != nil {
+		cp = scope.cp
+		runNo = int(scope.seq.Add(1)) - 1
+	} else {
+		cp, _ = currentHooks()
+		runNo = int(runSeq.Add(1)) - 1
+	}
+	key := RunKey{Run: runNo, Shots: cfg.Shots, Seed: cfg.Seed, ShardSize: cfg.shardSize()}
 
 	runCtx := ctx
 	build := newWorker

@@ -3,7 +3,9 @@ package mc_test
 import (
 	"context"
 	"errors"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -264,4 +266,158 @@ func TestChaosMapShardsPanicsOnExhaustedFault(t *testing.T) {
 	}()
 	mc.MapShards(mc.Config{Shots: 1000, Seed: 1, Workers: 1},
 		func() func(mc.Shard) int { return func(sh mc.Shard) int { return sh.Index } })
+}
+
+// memCheckpoint is an in-memory mc.Checkpoint for scoping tests: it records
+// every (RunKey, shard) it sees so assertions can inspect run numbering.
+type memCheckpoint struct {
+	mu      sync.Mutex
+	entries map[mc.RunKey]map[int]mc.Tally
+	seeds   map[mc.RunKey]map[int]int64
+	records int
+	hits    int
+}
+
+func newMemCheckpoint() *memCheckpoint {
+	return &memCheckpoint{entries: map[mc.RunKey]map[int]mc.Tally{}, seeds: map[mc.RunKey]map[int]int64{}}
+}
+
+func (m *memCheckpoint) Lookup(key mc.RunKey, sh mc.Shard) (mc.Tally, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.entries[key][sh.Index]
+	if ok && m.seeds[key][sh.Index] != sh.Seed {
+		return mc.Tally{}, false
+	}
+	if ok {
+		m.hits++
+	}
+	return t, ok
+}
+
+func (m *memCheckpoint) Record(key mc.RunKey, sh mc.Shard, t mc.Tally) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.entries[key] == nil {
+		m.entries[key] = map[int]mc.Tally{}
+		m.seeds[key] = map[int]int64{}
+	}
+	m.entries[key][sh.Index] = t
+	m.seeds[key][sh.Index] = sh.Seed
+	m.records++
+	return nil
+}
+
+func (m *memCheckpoint) runNumbers() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nums := map[int]bool{}
+	for k := range m.entries {
+		nums[k.Run] = true
+	}
+	out := make([]int, 0, len(nums))
+	for n := range nums {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TestWithCheckpointScopesRunNumbering: two experiments running
+// concurrently, each under its own WithCheckpoint scope, must number their
+// sub-runs 0..N-1 independently — exactly as each would solo — so a scoped
+// checkpoint is resumable no matter what else the process was doing.
+func TestWithCheckpointScopesRunNumbering(t *testing.T) {
+	const subRuns = 3
+	runScoped := func(cp mc.Checkpoint, seed int64) (mc.Tally, error) {
+		ctx := mc.WithCheckpoint(context.Background(), cp)
+		var total mc.Tally
+		for i := 0; i < subRuns; i++ {
+			tl, err := mc.RunContext(ctx, mc.Config{Shots: 2000, Seed: seed + int64(i), Workers: 2}, countingRunner)
+			if err != nil {
+				return total, err
+			}
+			total.Add(tl)
+		}
+		return total, nil
+	}
+
+	cpA, cpB := newMemCheckpoint(), newMemCheckpoint()
+	var wg sync.WaitGroup
+	var tallyA, tallyB mc.Tally
+	var errA, errB error
+	wg.Add(2)
+	go func() { defer wg.Done(); tallyA, errA = runScoped(cpA, 100) }()
+	go func() { defer wg.Done(); tallyB, errB = runScoped(cpB, 900) }()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+
+	for name, cp := range map[string]*memCheckpoint{"A": cpA, "B": cpB} {
+		got := cp.runNumbers()
+		if len(got) != subRuns {
+			t.Fatalf("scope %s: run numbers %v, want %d distinct", name, got, subRuns)
+		}
+		for i, n := range got {
+			if n != i {
+				t.Fatalf("scope %s: run numbers %v are not 0..%d", name, got, subRuns-1)
+			}
+		}
+	}
+
+	// A solo rerun against scope A's store must be served entirely from the
+	// checkpoint (no new records) and pool to the identical tally.
+	before := cpA.records
+	tallyA2, err := runScoped(cpA, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tallyA2 != tallyA {
+		t.Fatalf("scoped resume diverged: %+v != %+v", tallyA2, tallyA)
+	}
+	if cpA.records != before {
+		t.Fatalf("resume re-recorded %d shards; want all served from checkpoint", cpA.records-before)
+	}
+	_ = tallyB
+}
+
+// TestWithCheckpointShadowsGlobal: a context scope must win over (and not
+// disturb) the process-global SetCheckpoint hook and its run numbering.
+func TestWithCheckpointShadowsGlobal(t *testing.T) {
+	global, scoped := newMemCheckpoint(), newMemCheckpoint()
+	mc.SetCheckpoint(global)
+	defer mc.SetCheckpoint(nil)
+
+	cfg := mc.Config{Shots: 1000, Seed: 5, Workers: 1}
+	if _, err := mc.RunContext(mc.WithCheckpoint(context.Background(), scoped), cfg, countingRunner); err != nil {
+		t.Fatal(err)
+	}
+	if global.records != 0 {
+		t.Fatalf("scoped run leaked %d records into the global store", global.records)
+	}
+	if scoped.records == 0 {
+		t.Fatal("scoped store recorded nothing")
+	}
+	// The global sequence was untouched: the next unscoped run is run 0.
+	if _, err := mc.RunContext(context.Background(), cfg, countingRunner); err != nil {
+		t.Fatal(err)
+	}
+	if got := global.runNumbers(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("global run numbering disturbed by scoped run: %v", got)
+	}
+}
+
+// TestWithCheckpointNilStore: a nil-store scope isolates run numbering but
+// checkpoints nothing, and must not panic.
+func TestWithCheckpointNilStore(t *testing.T) {
+	cfg := mc.Config{Shots: 1000, Seed: 5, Workers: 2}
+	want := mc.Run(cfg, countingRunner)
+	got, err := mc.RunContext(mc.WithCheckpoint(context.Background(), nil), cfg, countingRunner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil-store scope changed results: %+v != %+v", got, want)
+	}
 }

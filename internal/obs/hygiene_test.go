@@ -22,6 +22,10 @@ import (
 	// Register the fabric.* metrics and events (only the CLI and the fabric
 	// tests reach the distributed layer).
 	_ "hetarch/internal/fabric"
+
+	// Register the jobs.* metrics and events (only the `hetarch serve`
+	// daemon reaches the job service).
+	_ "hetarch/internal/jobs"
 )
 
 // metricName is the registry's naming convention: a lowercase package
@@ -130,7 +134,7 @@ func TestEventNameHygiene(t *testing.T) {
 	if !prefixes["run"] {
 		t.Errorf("run.* lifecycle events missing from the registry: %v", events)
 	}
-	for _, want := range []string{"ledger", "recorder"} {
+	for _, want := range []string{"ledger", "recorder", "jobs"} {
 		if !prefixes[want] {
 			t.Errorf("%s.* events missing — is the blank import gone?", want)
 		}

@@ -10,7 +10,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-DOCS="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md"
+DOCS="README.md DESIGN.md EXPERIMENTS.md ROADMAP.md API.md"
 fail=0
 
 slug() {
